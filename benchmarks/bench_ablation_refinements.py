@@ -1,0 +1,32 @@
+"""Ablation: the contribution of each Heuristic 2 refinement rung.
+
+Not a paper table — this is the quantitative analysis §6 leaves open,
+possible here because the simulator knows ground truth.  Sweeping the
+refinement toggles shows the safety/coverage trade the paper navigated
+qualitatively: each rung removes labels (coverage down) and removes
+wrong labels faster (precision up).
+"""
+
+from repro import experiments
+
+
+def test_refinement_ablation(benchmark, bench_default_world):
+    result = benchmark.pedantic(
+        experiments.run_ablation,
+        args=(bench_default_world,),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + result.report)
+    by_config = {row["config"]: row for row in result.rows}
+    naive = by_config["naive"]
+    refined = by_config["refined (all)"]
+    # Refinements shed labels...
+    assert refined["change_labels"] <= naive["change_labels"]
+    # ...and buy precision.
+    assert refined["precision"] >= naive["precision"]
+    # Every configuration keeps more clusters than the naive one (it
+    # merged the most, often wrongly).
+    assert all(
+        row["clusters"] >= naive["clusters"] for row in result.rows
+    )

@@ -1,0 +1,38 @@
+"""Table 1: the re-identification attack across the service roster.
+
+Paper: 344 transactions with ~70 services in 7 categories, hand-tagging
+1,070 addresses.  The bench regenerates the roster table and times the
+attack's chain-scanning tag collection on a fresh world.
+"""
+
+from repro import experiments
+from repro.simulation import scenarios
+
+
+def test_table1_roster_coverage(benchmark, bench_default_world):
+    result = benchmark.pedantic(
+        experiments.run_table1,
+        args=(bench_default_world,),
+        rounds=3,
+        iterations=1,
+    )
+    print("\n" + result.report)
+    # Shape: every category engaged, transaction count in the paper's
+    # order of magnitude, tags amplify beyond the deposit count.
+    assert result.services_engaged >= 80
+    assert 100 <= result.transactions_made <= 600
+    assert result.addresses_tagged >= 200
+    categories = set(result.services_by_category)
+    assert {"mining", "wallets", "exchanges", "fixed", "vendors",
+            "gambling", "miscellaneous"} <= categories
+
+
+def test_table1_attack_end_to_end(benchmark):
+    """Time the full §3.1 data collection (simulation + attack)."""
+
+    def run():
+        world = scenarios.default_economy(seed=42, n_blocks=300, n_users=30)
+        return world.extras["attack"].tags.address_count
+
+    tagged = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert tagged > 100

@@ -1,0 +1,32 @@
+"""Shared worlds for the benchmark harness.
+
+Worlds are deterministic and expensive, so each is built once per
+session; the benchmarks time the *analysis* stages (clustering, peel
+tracking, theft classification) against the prebuilt chains, and each
+bench also prints the paper-shaped table it regenerates (run with
+``-s`` to see them, or read EXPERIMENTS.md for a recorded copy).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation import scenarios
+
+
+@pytest.fixture(scope="session")
+def bench_default_world():
+    """§3/§4 workload: full roster, 600 blocks."""
+    return scenarios.default_economy(seed=0)
+
+
+@pytest.fixture(scope="session")
+def bench_silkroad_world():
+    """Table 2 / Figure 2 workload: hoard lifecycle over ~1 simulated year."""
+    return scenarios.silkroad_world(seed=1, n_blocks=1200)
+
+
+@pytest.fixture(scope="session")
+def bench_theft_world():
+    """Table 3 workload: the seven thefts over the 2011–2013 window."""
+    return scenarios.theft_world(seed=2)

@@ -1,0 +1,65 @@
+"""What the paper could not measure: true clustering accuracy.
+
+The authors estimated Heuristic 2's false-positive rate by replaying
+time; with a simulator we hold the answer key.  This example runs the
+refinement ablation, compares the temporal estimate to the truth, and
+demonstrates §6's idiom-drift concern by sweeping wallet change
+policies.
+
+Run:  python examples/clustering_accuracy.py   (takes ~30s)
+"""
+
+from dataclasses import replace
+
+from repro.core.clustering import ClusteringEngine
+from repro.experiments import run_ablation, run_fp_ladder
+from repro.metrics.evaluation import pairwise_scores
+from repro.simulation import scenarios
+from repro.simulation.params import ChangePolicy, EconomyParams, UserParams
+
+
+def main() -> None:
+    print("building the default economy...")
+    world = scenarios.default_economy(seed=0)
+
+    print("\n--- §4.2: estimated vs true false-positive rates ---")
+    ladder = run_fp_ladder(world)
+    print(ladder.report)
+
+    print("\n--- ablation: what each refinement buys ---")
+    ablation = run_ablation(world)
+    print(ablation.report)
+
+    print("\n--- §6: idiom drift (how H2 degrades as habits change) ---")
+    policies = [
+        ("2012 defaults", ChangePolicy()),
+        ("all fresh change",
+         ChangePolicy(fresh=1.0, self_change=0.0, reuse=0.0, recent=0.0)),
+        ("privacy-conscious (all self-change)",
+         ChangePolicy(fresh=0.0, self_change=1.0, reuse=0.0, recent=0.0)),
+        ("sloppy (heavy reuse)",
+         ChangePolicy(fresh=0.4, self_change=0.2, reuse=0.2, recent=0.2)),
+    ]
+    print(f"{'policy':38s} {'labels':>7s} {'precision':>10s} {'recall':>7s}")
+    for name, policy in policies:
+        params = EconomyParams(
+            seed=13, n_blocks=200, n_users=16,
+            user=UserParams(change_policy=policy),
+        )
+        drift_world = scenarios.default_economy(
+            seed=13, params=params, with_attack=False
+        )
+        clustering = ClusteringEngine(drift_world.index).cluster()
+        scores = pairwise_scores(clustering, drift_world.ground_truth)
+        labels = len(clustering.h2_result.labels)
+        print(f"{name:38s} {labels:7d} {scores.precision:10.3f} "
+              f"{scores.recall:7.3f}")
+    print(
+        "\nConclusion (matching §6): universal self-change would thwart the\n"
+        "heuristic entirely, but costs usability — and nobody but the most\n"
+        "motivated users paid that cost in 2013."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Track the seven Table 3 thefts: movement grammars and exchange reach.
+
+For each theft the tracker recovers, from the chain alone, how the loot
+moved (A=aggregation, P=peeling chain, S=split, F=folding) and whether
+any of it reached a known exchange; a taint pass then quantifies how
+much value leaked to each named service even through folds and splits.
+
+Run:  python examples/theft_forensics.py   (takes ~1 minute)
+"""
+
+from repro.analysis.taint import TaintTracker
+from repro.chain.model import COIN, OutPoint
+from repro.pipeline import AnalystView
+from repro.simulation import scenarios
+
+
+def main() -> None:
+    print("simulating the theft world (seven thefts, ~2 years)...")
+    world = scenarios.theft_world(seed=2)
+    view = AnalystView.build(world)
+    tracker = view.theft_tracker()
+    exchange_names = view.entities_in_category("exchanges") | (
+        view.entities_in_category("fixed")
+    )
+
+    print(f"\n{'Theft':18s} {'paper':8s} {'recovered':10s} {'exch BTC':>9s} "
+          f"{'dormant':>9s}")
+    for theft in world.extras["thefts"]:
+        record = theft.record
+        analysis = tracker.track(record.theft_txids)
+        exchange_value = analysis.value_to(exchange_names) / COIN
+        print(
+            f"{record.spec.name:18s} {record.spec.movement:8s} "
+            f"{analysis.movement or '(sat still)':10s} "
+            f"{exchange_value:9.2f} {analysis.dormant_value / COIN:9.2f}"
+        )
+
+    # Deep dive: Betcoin, the paper's cleanest case.  The loot sat for a
+    # year, then aggregated and peeled; exchange deposits appeared
+    # within tens of hops.
+    betcoin = next(
+        t for t in world.extras["thefts"] if t.spec.name == "Betcoin"
+    )
+    analysis = tracker.track(betcoin.record.theft_txids)
+    print("\nBetcoin case study:")
+    for hit in analysis.hits_to(exchange_names):
+        print(
+            f"  {hit.value / COIN:8.2f} BTC reached {hit.entity} "
+            f"at height {hit.height}"
+        )
+
+    # Taint analysis (beyond the paper): value-proportional tracking
+    # through folds and splits.
+    index = world.index
+    sources = []
+    for txid in betcoin.record.theft_txids:
+        tx = index.tx(txid)
+        sources.extend(OutPoint(txid, v) for v in range(len(tx.outputs)))
+    taint = TaintTracker(
+        index, name_of_address=view.naming.name_of_address
+    ).propagate(sources)
+    print("\ntaint reach (haircut accounting):")
+    for entity, value in sorted(
+        taint.taint_at_entities.items(), key=lambda kv: -kv[1]
+    )[:8]:
+        print(f"  {entity:20s} {value / COIN:10.3f} BTC-equivalent taint")
+
+
+if __name__ == "__main__":
+    main()

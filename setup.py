@@ -1,0 +1,6 @@
+"""Setup shim for legacy editable installs (offline environment lacks the
+``wheel`` package needed for PEP 660 builds)."""
+
+from setuptools import setup
+
+setup()

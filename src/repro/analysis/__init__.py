@@ -1,0 +1,51 @@
+"""Flow analyses (§5): peeling chains, thefts, balances, the user graph."""
+
+from .balances import BalanceAnalyzer, BalanceSeries
+from .chokepoints import ChokepointReport, chokepoint_report, entity_exposure
+from .peeling import (
+    Peel,
+    PeelChain,
+    PeelHop,
+    PeelingTracker,
+    ServicePeelSummary,
+    summarize_peels_by_entity,
+)
+from .taint import TaintResult, TaintTracker
+from .thefts import (
+    ExchangeHit,
+    MovementStep,
+    TheftAnalysis,
+    TheftTracker,
+)
+from .user_graph import (
+    UserGraphStats,
+    build_user_graph,
+    flows_between,
+    graph_stats,
+    top_counterparties,
+)
+
+__all__ = [
+    "BalanceAnalyzer",
+    "BalanceSeries",
+    "ChokepointReport",
+    "chokepoint_report",
+    "entity_exposure",
+    "ExchangeHit",
+    "MovementStep",
+    "Peel",
+    "PeelChain",
+    "PeelHop",
+    "PeelingTracker",
+    "ServicePeelSummary",
+    "TaintResult",
+    "TaintTracker",
+    "TheftAnalysis",
+    "TheftTracker",
+    "UserGraphStats",
+    "build_user_graph",
+    "flows_between",
+    "graph_stats",
+    "summarize_peels_by_entity",
+    "top_counterparties",
+]

@@ -1,0 +1,127 @@
+"""blk*.dat-style block files.
+
+Bitcoin Core appends each block to rolling ``blkNNNNN.dat`` files as
+``magic || u32 length || raw block``.  The paper's substrate (a block
+parser like znort987/blockparser) consumes exactly these files; we write
+and read the same framing so the simulate→serialize→reparse pipeline
+exercises a genuine binary parse, including resilience to a truncated
+final record (which real block files exhibit after unclean shutdowns).
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from .errors import SerializationError, TruncatedDataError
+from .model import Block
+from .serialize import ByteReader, deserialize_block, serialize_block
+
+MAINNET_MAGIC = b"\xf9\xbe\xb4\xd9"
+"""Bitcoin mainnet network magic, little-endian on the wire."""
+
+DEFAULT_MAX_FILE_SIZE = 128 * 1024 * 1024
+_LENGTH_FMT = "<I"
+
+
+class BlockFileWriter:
+    """Append blocks to ``blkNNNNN.dat`` files under a directory.
+
+    Rolls over to a new file once the current one would exceed
+    ``max_file_size``, mirroring Bitcoin Core's behaviour.
+    """
+
+    def __init__(
+        self,
+        directory: str | os.PathLike[str],
+        *,
+        magic: bytes = MAINNET_MAGIC,
+        max_file_size: int = DEFAULT_MAX_FILE_SIZE,
+    ) -> None:
+        if len(magic) != 4:
+            raise SerializationError("network magic must be 4 bytes")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.magic = magic
+        self.max_file_size = max_file_size
+        self._file_index = 0
+        self._bytes_in_file = 0
+
+    def _current_path(self) -> Path:
+        return self.directory / f"blk{self._file_index:05d}.dat"
+
+    def write_block(self, block: Block) -> Path:
+        """Append one block; returns the file it landed in."""
+        raw = serialize_block(block)
+        record = self.magic + struct.pack(_LENGTH_FMT, len(raw)) + raw
+        if self._bytes_in_file and self._bytes_in_file + len(record) > self.max_file_size:
+            self._file_index += 1
+            self._bytes_in_file = 0
+        path = self._current_path()
+        with open(path, "ab") as fh:
+            fh.write(record)
+        self._bytes_in_file += len(record)
+        return path
+
+    def write_chain(self, blocks: Iterable[Block]) -> list[Path]:
+        """Append a whole chain; returns the distinct files written."""
+        paths: list[Path] = []
+        for block in blocks:
+            path = self.write_block(block)
+            if not paths or paths[-1] != path:
+                paths.append(path)
+        return paths
+
+
+def iter_block_files(directory: str | os.PathLike[str]) -> Iterator[Path]:
+    """Yield ``blk*.dat`` files in a directory in index order."""
+    directory = Path(directory)
+    yield from sorted(directory.glob("blk*.dat"))
+
+
+def read_blocks(
+    source: str | os.PathLike[str],
+    *,
+    magic: bytes = MAINNET_MAGIC,
+    start_height: int = 0,
+    tolerate_truncation: bool = True,
+) -> Iterator[Block]:
+    """Stream blocks from a single file or a directory of block files.
+
+    Heights are assigned sequentially from ``start_height``, matching how
+    the simulator lays blocks down in order.  A truncated final record is
+    silently ignored when ``tolerate_truncation`` is set; any other
+    framing error raises :class:`SerializationError`.
+    """
+    source = Path(source)
+    paths = list(iter_block_files(source)) if source.is_dir() else [source]
+    height = start_height
+    for path in paths:
+        data = path.read_bytes()
+        reader = ByteReader(data)
+        while reader.remaining:
+            if reader.remaining < len(magic) + 4:
+                if tolerate_truncation:
+                    break
+                raise TruncatedDataError(f"truncated record header in {path}")
+            got_magic = reader.read(4)
+            if got_magic != magic:
+                raise SerializationError(
+                    f"bad network magic {got_magic.hex()} at offset "
+                    f"{reader.pos - 4} in {path}"
+                )
+            (length,) = struct.unpack(_LENGTH_FMT, reader.read(4))
+            if reader.remaining < length:
+                if tolerate_truncation:
+                    break
+                raise TruncatedDataError(f"truncated block body in {path}")
+            block_reader = ByteReader(reader.read(length))
+            block = deserialize_block(block_reader, height=height)
+            if block_reader.remaining:
+                raise SerializationError(
+                    f"{block_reader.remaining} stray bytes inside record in {path}"
+                )
+            yield block
+            height += 1

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the chain substrate.
+
+Every error raised by :mod:`repro.chain` derives from :class:`ChainError`,
+so callers can catch one base class when dealing with untrusted input
+(e.g. when re-parsing serialized block files).
+"""
+
+from __future__ import annotations
+
+
+class ChainError(Exception):
+    """Base class for all chain-substrate errors."""
+
+
+class SerializationError(ChainError):
+    """Raised when encoding or decoding wire-format bytes fails."""
+
+
+class TruncatedDataError(SerializationError):
+    """Raised when a decoder runs out of bytes mid-structure."""
+
+
+class Base58Error(ChainError):
+    """Raised on malformed base58check payloads (bad alphabet/checksum)."""
+
+
+class ScriptError(ChainError):
+    """Raised when a script cannot be built or recognized."""
+
+
+class ValidationError(ChainError):
+    """Base class for consensus-style validation failures."""
+
+
+class DoubleSpendError(ValidationError):
+    """Raised when a transaction spends an already-spent output."""
+
+
+class MissingInputError(ValidationError):
+    """Raised when a transaction references an unknown outpoint."""
+
+
+class ConservationError(ValidationError):
+    """Raised when outputs exceed inputs (non-coinbase) or subsidy rules break."""
+
+
+class BlockStructureError(ValidationError):
+    """Raised on malformed blocks (bad coinbase placement, merkle mismatch...)."""
+
+
+class UnknownTransactionError(ChainError, KeyError):
+    """Raised when a txid lookup misses the index."""
+
+
+class UnknownAddressError(ChainError, KeyError):
+    """Raised when an address lookup misses the index."""

@@ -1,0 +1,348 @@
+"""Chain index: the random-access view the analyses run on.
+
+A :class:`ChainIndex` ingests blocks in height order and maintains:
+
+* transaction lookup by txid, with block height and timestamp;
+* the UTXO set and a ``spent_by`` map (which input consumed an output);
+* per-address histories — every receive and every spend with heights and
+  values — which is what Heuristic 2's "has this address appeared
+  before?" and "has it received more than one input?" questions read;
+* running balances and the set of *sink addresses* (received but never
+  spent from), which the paper uses to bound the number of users and to
+  define "active bitcoins" in Figure 2.
+
+The index is deliberately append-only: the paper analyses a chain prefix,
+and temporal replay (false-positive estimation) is done by *consulting
+heights*, not by mutating the index.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from .errors import (
+    DoubleSpendError,
+    MissingInputError,
+    UnknownAddressError,
+    UnknownTransactionError,
+)
+from .model import Block, OutPoint, Transaction, TxOut
+
+
+@dataclass(frozen=True, slots=True)
+class Receive:
+    """One credit to an address: output ``vout`` of ``txid`` at ``height``."""
+
+    height: int
+    txid: bytes
+    vout: int
+    value: int
+
+
+@dataclass(frozen=True, slots=True)
+class Spend:
+    """One debit from an address: input ``vin`` of ``txid`` at ``height``."""
+
+    height: int
+    txid: bytes
+    vin: int
+    value: int
+
+
+@dataclass
+class AddressRecord:
+    """Everything the index knows about one address."""
+
+    address: str
+    receives: list[Receive] = field(default_factory=list)
+    spends: list[Spend] = field(default_factory=list)
+    receive_heights: list[int] = field(default_factory=list)
+    """Heights of ``receives`` (kept in sync for binary search)."""
+
+    @property
+    def first_seen_height(self) -> int:
+        """Height of the first appearance (always a receive)."""
+        return self.receives[0].height
+
+    @property
+    def total_received(self) -> int:
+        return sum(r.value for r in self.receives)
+
+    @property
+    def total_spent(self) -> int:
+        return sum(s.value for s in self.spends)
+
+    @property
+    def balance(self) -> int:
+        return self.total_received - self.total_spent
+
+    @property
+    def is_sink(self) -> bool:
+        """True when the address has never spent anything."""
+        return not self.spends
+
+    def receives_at_or_before(self, height: int) -> list[Receive]:
+        """Receives with ``height <= height`` (ordered)."""
+        return self.receives[: bisect_right(self.receive_heights, height)]
+
+    def receives_after(self, height: int) -> list[Receive]:
+        """Receives strictly after ``height`` (ordered)."""
+        return self.receives[bisect_right(self.receive_heights, height):]
+
+    def receives_before(self, height: int) -> int:
+        """Count of receives strictly before ``height``."""
+        return bisect_left(self.receive_heights, height)
+
+
+@dataclass(frozen=True, slots=True)
+class TxLocation:
+    """Where a transaction sits in the chain."""
+
+    height: int
+    timestamp: int
+    index_in_block: int
+
+
+class ChainIndex:
+    """Indexed view over an ordered sequence of blocks."""
+
+    def __init__(self) -> None:
+        self._txs: dict[bytes, Transaction] = {}
+        self._locations: dict[bytes, TxLocation] = {}
+        self._utxos: dict[OutPoint, TxOut] = {}
+        self._spent_by: dict[OutPoint, tuple[bytes, int]] = {}
+        self._addresses: dict[str, AddressRecord] = {}
+        self._blocks: list[Block] = []
+        # Addresses appearing in a tx's outputs whose prevouts include the
+        # same address ("self-change" usage, §4.2).
+        self._self_change_history: dict[str, list[int]] = {}
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
+
+    def add_block(self, block: Block) -> None:
+        """Ingest the next block.  Blocks must arrive in height order."""
+        expected = len(self._blocks)
+        if block.height != expected:
+            raise MissingInputError(
+                f"blocks must be added in order: expected height {expected}, "
+                f"got {block.height}"
+            )
+        for i, tx in enumerate(block.transactions):
+            self._add_tx(tx, block, i)
+        self._blocks.append(block)
+
+    def add_chain(self, blocks: Iterable[Block]) -> None:
+        """Ingest a whole chain in order."""
+        for block in blocks:
+            self.add_block(block)
+
+    def _add_tx(self, tx: Transaction, block: Block, index_in_block: int) -> None:
+        txid = tx.txid
+        if txid in self._txs:
+            raise DoubleSpendError(f"duplicate transaction {tx.txid_hex}")
+        input_addrs: set[str] = set()
+        # Consume inputs.
+        for vin, txin in enumerate(tx.inputs):
+            if txin.is_coinbase:
+                continue
+            prevout = txin.prevout
+            if prevout in self._spent_by:
+                raise DoubleSpendError(
+                    f"{tx.txid_hex} double-spends {prevout.txid[::-1].hex()}:"
+                    f"{prevout.vout}"
+                )
+            spent = self._utxos.pop(prevout, None)
+            if spent is None:
+                raise MissingInputError(
+                    f"{tx.txid_hex} spends unknown outpoint "
+                    f"{prevout.txid[::-1].hex()}:{prevout.vout}"
+                )
+            self._spent_by[prevout] = (txid, vin)
+            addr = spent.address
+            if addr is not None:
+                input_addrs.add(addr)
+                self._addresses[addr].spends.append(
+                    Spend(block.height, txid, vin, spent.value)
+                )
+        # Create outputs.
+        for vout, txout in enumerate(tx.outputs):
+            self._utxos[OutPoint(txid, vout)] = txout
+            addr = txout.address
+            if addr is None:
+                continue
+            record = self._addresses.get(addr)
+            if record is None:
+                record = AddressRecord(addr)
+                self._addresses[addr] = record
+            record.receives.append(Receive(block.height, txid, vout, txout.value))
+            record.receive_heights.append(block.height)
+            if addr in input_addrs:
+                self._self_change_history.setdefault(addr, []).append(block.height)
+        self._txs[txid] = tx
+        self._locations[txid] = TxLocation(
+            height=block.height,
+            timestamp=block.header.timestamp,
+            index_in_block=index_in_block,
+        )
+
+    # ------------------------------------------------------------------
+    # chain / block access
+    # ------------------------------------------------------------------
+
+    @property
+    def height(self) -> int:
+        """Height of the chain tip (-1 when empty)."""
+        return len(self._blocks) - 1
+
+    @property
+    def blocks(self) -> list[Block]:
+        """The ingested blocks in height order."""
+        return self._blocks
+
+    def block_at(self, height: int) -> Block:
+        """The block at ``height``."""
+        return self._blocks[height]
+
+    def timestamp_at(self, height: int) -> int:
+        """The block timestamp at ``height``."""
+        return self._blocks[height].header.timestamp
+
+    # ------------------------------------------------------------------
+    # transaction access
+    # ------------------------------------------------------------------
+
+    def __contains__(self, txid: bytes) -> bool:
+        return txid in self._txs
+
+    def tx(self, txid: bytes) -> Transaction:
+        """Look up a transaction by internal-order txid."""
+        try:
+            return self._txs[txid]
+        except KeyError:
+            raise UnknownTransactionError(txid[::-1].hex()) from None
+
+    def location(self, txid: bytes) -> TxLocation:
+        """Block height/timestamp/position for a txid."""
+        try:
+            return self._locations[txid]
+        except KeyError:
+            raise UnknownTransactionError(txid[::-1].hex()) from None
+
+    def iter_transactions(self) -> Iterator[tuple[Transaction, TxLocation]]:
+        """All transactions with their locations, in chain order."""
+        for block in self._blocks:
+            for i, tx in enumerate(block.transactions):
+                yield tx, TxLocation(block.height, block.header.timestamp, i)
+
+    @property
+    def tx_count(self) -> int:
+        return len(self._txs)
+
+    # ------------------------------------------------------------------
+    # outputs / UTXO
+    # ------------------------------------------------------------------
+
+    def output(self, outpoint: OutPoint) -> TxOut:
+        """The output a prevout references (spent or unspent)."""
+        utxo = self._utxos.get(outpoint)
+        if utxo is not None:
+            return utxo
+        tx = self.tx(outpoint.txid)
+        return tx.outputs[outpoint.vout]
+
+    def is_unspent(self, outpoint: OutPoint) -> bool:
+        """True while an output is in the UTXO set."""
+        return outpoint in self._utxos
+
+    def spender_of(self, outpoint: OutPoint) -> tuple[bytes, int] | None:
+        """``(txid, vin)`` of the input spending an output, if spent."""
+        return self._spent_by.get(outpoint)
+
+    @property
+    def utxo_count(self) -> int:
+        return len(self._utxos)
+
+    def utxo_value(self) -> int:
+        """Total satoshis in the UTXO set."""
+        return sum(out.value for out in self._utxos.values())
+
+    # ------------------------------------------------------------------
+    # addresses
+    # ------------------------------------------------------------------
+
+    def has_address(self, address: str) -> bool:
+        return address in self._addresses
+
+    def address(self, address: str) -> AddressRecord:
+        """The :class:`AddressRecord` for ``address``."""
+        try:
+            return self._addresses[address]
+        except KeyError:
+            raise UnknownAddressError(address) from None
+
+    def iter_addresses(self) -> Iterator[AddressRecord]:
+        yield from self._addresses.values()
+
+    @property
+    def address_count(self) -> int:
+        return len(self._addresses)
+
+    def sink_addresses(self) -> list[str]:
+        """Addresses that have received but never spent (paper §4.1)."""
+        return [a for a, rec in self._addresses.items() if rec.is_sink]
+
+    def input_addresses(self, tx: Transaction) -> list[str]:
+        """Addresses owning the outputs a transaction spends (deduplicated,
+        insertion-ordered).  Empty for coinbases."""
+        seen: dict[str, None] = {}
+        for txin in tx.inputs:
+            if txin.is_coinbase:
+                continue
+            addr = self.output(txin.prevout).address
+            if addr is not None:
+                seen.setdefault(addr)
+        return list(seen)
+
+    def input_value(self, tx: Transaction) -> int:
+        """Total satoshis consumed by a transaction's inputs."""
+        if tx.is_coinbase:
+            return 0
+        return sum(self.output(txin.prevout).value for txin in tx.inputs)
+
+    def fee(self, tx: Transaction) -> int:
+        """Miner fee (inputs minus outputs); 0 for coinbases."""
+        if tx.is_coinbase:
+            return 0
+        return self.input_value(tx) - tx.total_output_value
+
+    # ------------------------------------------------------------------
+    # temporal queries used by Heuristic 2 (§4.1/§4.2)
+    # ------------------------------------------------------------------
+
+    def appearances_before(self, address: str, height: int) -> int:
+        """How many times ``address`` was paid strictly before ``height``."""
+        record = self._addresses.get(address)
+        if record is None:
+            return 0
+        return record.receives_before(height)
+
+    def first_seen(self, address: str) -> int | None:
+        """Height of the first receive, or ``None`` if never seen."""
+        record = self._addresses.get(address)
+        if record is None or not record.receives:
+            return None
+        return record.first_seen_height
+
+    def self_change_heights(self, address: str) -> list[int]:
+        """Heights at which ``address`` was used as a self-change address
+        (appears among both the inputs and the outputs of one tx)."""
+        return self._self_change_history.get(address, [])
+
+    def was_self_change_before(self, address: str, height: int) -> bool:
+        """True if the address served as self-change strictly before
+        ``height`` (one of the §4.2 refinements)."""
+        return any(h < height for h in self._self_change_history.get(address, ()))

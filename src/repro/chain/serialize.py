@@ -1,0 +1,237 @@
+"""Bitcoin wire-format serialization.
+
+Implements the exact byte layout Bitcoin uses for transactions, block
+headers, and blocks (little-endian integers, CompactSize varints), so
+``sha256d(serialize_tx(tx))`` is a faithful txid and block files written
+by :mod:`repro.chain.blockfile` could in principle be inspected by any
+Bitcoin block parser.
+
+Decoders are defensive: all reads go through a bounds-checked
+:class:`ByteReader` and raise :class:`TruncatedDataError` /
+:class:`SerializationError` on malformed input instead of ``IndexError``.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from .errors import SerializationError, TruncatedDataError
+from .model import Block, BlockHeader, OutPoint, Transaction, TxIn, TxOut
+
+_MAX_VARINT = 0xFFFFFFFFFFFFFFFF
+_MAX_SCRIPT_LEN = 10_000
+_MAX_TX_ITEMS = 1_000_000  # sanity bound on input/output counts
+
+
+class ByteReader:
+    """A bounds-checked cursor over immutable bytes."""
+
+    __slots__ = ("_data", "_pos")
+
+    def __init__(self, data: bytes, pos: int = 0) -> None:
+        self._data = data
+        self._pos = pos
+
+    @property
+    def pos(self) -> int:
+        """Current read offset."""
+        return self._pos
+
+    @property
+    def remaining(self) -> int:
+        """Bytes left to read."""
+        return len(self._data) - self._pos
+
+    def read(self, n: int) -> bytes:
+        """Read exactly ``n`` bytes or raise :class:`TruncatedDataError`."""
+        if n < 0:
+            raise SerializationError(f"negative read length {n}")
+        if self.remaining < n:
+            raise TruncatedDataError(
+                f"wanted {n} bytes at offset {self._pos}, only {self.remaining} left"
+            )
+        out = self._data[self._pos : self._pos + n]
+        self._pos += n
+        return out
+
+    def read_u8(self) -> int:
+        return self.read(1)[0]
+
+    def read_u16(self) -> int:
+        return struct.unpack("<H", self.read(2))[0]
+
+    def read_u32(self) -> int:
+        return struct.unpack("<I", self.read(4))[0]
+
+    def read_u64(self) -> int:
+        return struct.unpack("<Q", self.read(8))[0]
+
+    def read_i64(self) -> int:
+        return struct.unpack("<q", self.read(8))[0]
+
+
+def encode_varint(n: int) -> bytes:
+    """Encode a CompactSize unsigned integer."""
+    if n < 0 or n > _MAX_VARINT:
+        raise SerializationError(f"varint out of range: {n}")
+    if n < 0xFD:
+        return bytes([n])
+    if n <= 0xFFFF:
+        return b"\xfd" + struct.pack("<H", n)
+    if n <= 0xFFFFFFFF:
+        return b"\xfe" + struct.pack("<I", n)
+    return b"\xff" + struct.pack("<Q", n)
+
+
+def decode_varint(reader: ByteReader) -> int:
+    """Decode a CompactSize unsigned integer, rejecting non-canonical forms."""
+    prefix = reader.read_u8()
+    if prefix < 0xFD:
+        return prefix
+    if prefix == 0xFD:
+        value = reader.read_u16()
+        minimum = 0xFD
+    elif prefix == 0xFE:
+        value = reader.read_u32()
+        minimum = 0x10000
+    else:
+        value = reader.read_u64()
+        minimum = 0x100000000
+    if value < minimum:
+        raise SerializationError(f"non-canonical varint encoding of {value}")
+    return value
+
+
+def _encode_script(script: bytes) -> bytes:
+    return encode_varint(len(script)) + script
+
+
+def _decode_script(reader: ByteReader, *, what: str) -> bytes:
+    length = decode_varint(reader)
+    if length > _MAX_SCRIPT_LEN:
+        raise SerializationError(f"{what} length {length} exceeds {_MAX_SCRIPT_LEN}")
+    return reader.read(length)
+
+
+def serialize_txin(txin: TxIn) -> bytes:
+    """Serialize one transaction input."""
+    return (
+        txin.prevout.txid
+        + struct.pack("<I", txin.prevout.vout)
+        + _encode_script(txin.script_sig)
+        + struct.pack("<I", txin.sequence)
+    )
+
+
+def deserialize_txin(reader: ByteReader) -> TxIn:
+    """Decode one transaction input."""
+    txid = reader.read(32)
+    vout = reader.read_u32()
+    script_sig = _decode_script(reader, what="scriptSig")
+    sequence = reader.read_u32()
+    return TxIn(prevout=OutPoint(txid, vout), script_sig=script_sig, sequence=sequence)
+
+
+def serialize_txout(txout: TxOut) -> bytes:
+    """Serialize one transaction output."""
+    if txout.value < 0:
+        raise SerializationError(f"negative output value {txout.value}")
+    return struct.pack("<q", txout.value) + _encode_script(txout.script_pubkey)
+
+
+def deserialize_txout(reader: ByteReader) -> TxOut:
+    """Decode one transaction output."""
+    value = reader.read_i64()
+    if value < 0:
+        raise SerializationError(f"negative output value {value}")
+    script_pubkey = _decode_script(reader, what="scriptPubKey")
+    return TxOut(value=value, script_pubkey=script_pubkey)
+
+
+def serialize_tx(tx: Transaction) -> bytes:
+    """Serialize a transaction in the legacy (pre-segwit) wire format."""
+    parts = [struct.pack("<i", tx.version), encode_varint(len(tx.inputs))]
+    parts.extend(serialize_txin(txin) for txin in tx.inputs)
+    parts.append(encode_varint(len(tx.outputs)))
+    parts.extend(serialize_txout(txout) for txout in tx.outputs)
+    parts.append(struct.pack("<I", tx.lock_time))
+    return b"".join(parts)
+
+
+def deserialize_tx(reader: ByteReader) -> Transaction:
+    """Decode a transaction."""
+    version = struct.unpack("<i", reader.read(4))[0]
+    n_in = decode_varint(reader)
+    if n_in == 0 or n_in > _MAX_TX_ITEMS:
+        raise SerializationError(f"implausible input count {n_in}")
+    inputs = tuple(deserialize_txin(reader) for _ in range(n_in))
+    n_out = decode_varint(reader)
+    if n_out == 0 or n_out > _MAX_TX_ITEMS:
+        raise SerializationError(f"implausible output count {n_out}")
+    outputs = tuple(deserialize_txout(reader) for _ in range(n_out))
+    lock_time = reader.read_u32()
+    return Transaction(
+        inputs=inputs, outputs=outputs, version=version, lock_time=lock_time
+    )
+
+
+def tx_from_bytes(data: bytes) -> Transaction:
+    """Decode a transaction from a standalone byte string."""
+    reader = ByteReader(data)
+    tx = deserialize_tx(reader)
+    if reader.remaining:
+        raise SerializationError(f"{reader.remaining} trailing bytes after transaction")
+    return tx
+
+
+def serialize_header(header: BlockHeader) -> bytes:
+    """Serialize the 80-byte block header."""
+    return (
+        struct.pack("<i", header.version)
+        + header.prev_hash
+        + header.merkle_root
+        + struct.pack("<III", header.timestamp, header.bits, header.nonce)
+    )
+
+
+def deserialize_header(reader: ByteReader) -> BlockHeader:
+    """Decode an 80-byte block header."""
+    version = struct.unpack("<i", reader.read(4))[0]
+    prev_hash = reader.read(32)
+    merkle_root_ = reader.read(32)
+    timestamp, bits, nonce = struct.unpack("<III", reader.read(12))
+    return BlockHeader(
+        version=version,
+        prev_hash=prev_hash,
+        merkle_root=merkle_root_,
+        timestamp=timestamp,
+        bits=bits,
+        nonce=nonce,
+    )
+
+
+def serialize_block(block: Block) -> bytes:
+    """Serialize header + tx count + transactions."""
+    parts = [serialize_header(block.header), encode_varint(len(block.transactions))]
+    parts.extend(serialize_tx(tx) for tx in block.transactions)
+    return b"".join(parts)
+
+
+def deserialize_block(reader: ByteReader, *, height: int) -> Block:
+    """Decode a block.  ``height`` is supplied by the caller (block files
+    don't embed it; readers track it positionally, as real parsers do)."""
+    header = deserialize_header(reader)
+    n_tx = decode_varint(reader)
+    if n_tx == 0 or n_tx > _MAX_TX_ITEMS:
+        raise SerializationError(f"implausible transaction count {n_tx}")
+    txs = tuple(deserialize_tx(reader) for _ in range(n_tx))
+    return Block(header=header, transactions=txs, height=height)
+
+
+def block_from_bytes(data: bytes, *, height: int) -> Block:
+    """Decode a block from a standalone byte string."""
+    reader = ByteReader(data)
+    block = deserialize_block(reader, height=height)
+    if reader.remaining:
+        raise SerializationError(f"{reader.remaining} trailing bytes after block")
+    return block

@@ -1,0 +1,369 @@
+"""Heuristic 2: one-time change address identification (§4.1–4.2).
+
+The paper's new heuristic.  In the client idiom of the era, change goes
+to a freshly generated address that is never re-used and never handed
+out; such an address is therefore controlled by the same user as the
+transaction's inputs.
+
+An address is a candidate **one-time change address** for transaction T
+when all four of the paper's conditions hold:
+
+1. the address first appears in T (no previous transaction);
+2. T is not a coin generation;
+3. T has no self-change output (no output address is also an input
+   address);
+4. every *other* output address of T has appeared before T.
+
+If more than one output satisfies (1) the change is ambiguous and
+nothing is labeled.
+
+§4.2 then adds a refinement ladder, each rung independently togglable
+through :class:`Heuristic2Config` so the false-positive benches can
+sweep them:
+
+* **dice exception** — later inputs to the candidate that come solely
+  from dice-game addresses do not void its one-timeness (Satoshi Dice
+  pays winnings back to the betting address);
+* **waiting period** — only label once the candidate has stayed
+  input-free for a day / a week of chain time;
+* **reused-change rejection** — skip transactions in which some output
+  address has already received exactly one input (the "same change
+  address used twice" pattern that built the Mt.Gox super-cluster);
+* **prior-self-change rejection** — skip transactions whose candidate
+  was used as a self-change address earlier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterator
+
+from ..chain.index import ChainIndex
+from ..chain.model import Transaction
+
+SECONDS_PER_DAY = 86_400
+SECONDS_PER_WEEK = 7 * SECONDS_PER_DAY
+
+
+@dataclass(frozen=True)
+class Heuristic2Config:
+    """Toggles for the §4.2 refinement ladder."""
+
+    min_outputs: int = 2
+    """Transactions with a single output have no change to find."""
+
+    dice_exception: bool = True
+    wait_seconds: int | None = SECONDS_PER_WEEK
+    """Label only if the candidate receives no later input within this
+    many seconds of chain time (None disables the wait)."""
+
+    reject_reused_change: bool = True
+    reject_prior_self_change: bool = True
+    rejection_window_seconds: int | None = SECONDS_PER_WEEK
+    """Recency scope for the two rejections: §4.2 observed the reused
+    change / re-surfacing self-change patterns "especially within a
+    short window of time", so only output addresses whose offending
+    history falls within this window veto the transaction.  ``None``
+    makes the rejections unconditional (strictly literal reading)."""
+
+    @classmethod
+    def naive(cls) -> "Heuristic2Config":
+        """The unrefined heuristic as first defined in §4.1."""
+        return cls(
+            dice_exception=False,
+            wait_seconds=None,
+            reject_reused_change=False,
+            reject_prior_self_change=False,
+        )
+
+    @classmethod
+    def refined(cls) -> "Heuristic2Config":
+        """The full ladder the paper settles on."""
+        return cls()
+
+    def with_wait_days(self, days: float | None) -> "Heuristic2Config":
+        """A copy with the waiting period set to ``days`` days."""
+        seconds = None if days is None else int(days * SECONDS_PER_DAY)
+        return replace(self, wait_seconds=seconds)
+
+
+@dataclass(frozen=True, slots=True)
+class ChangeLabel:
+    """One identified change output."""
+
+    txid: bytes
+    vout: int
+    address: str
+    height: int
+
+
+@dataclass
+class Heuristic2Result:
+    """All change labels plus bookkeeping about skipped transactions."""
+
+    labels: list[ChangeLabel] = field(default_factory=list)
+    ambiguous: int = 0
+    skipped_self_change: int = 0
+    skipped_reused_change: int = 0
+    skipped_prior_self_change: int = 0
+    skipped_wait: int = 0
+    skipped_dice_voided: int = 0
+
+    @property
+    def change_addresses(self) -> set[str]:
+        return {label.address for label in self.labels}
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+
+def find_candidate(
+    index: ChainIndex, tx: Transaction, height: int, *, min_outputs: int = 2
+) -> tuple[int | None, str]:
+    """Apply the four base conditions to one transaction.
+
+    Returns ``(vout, "ok")`` for an unambiguous candidate, or
+    ``(None, reason)`` where reason is one of ``coinbase``,
+    ``too_few_outputs``, ``self_change``, ``no_fresh_output``,
+    ``ambiguous``, ``other_output_fresh``.
+    """
+    if tx.is_coinbase:
+        return None, "coinbase"
+    if len(tx.outputs) < min_outputs:
+        return None, "too_few_outputs"
+    input_addresses = set(index.input_addresses(tx))
+    output_addresses = [out.address for out in tx.outputs]
+    if any(addr in input_addresses for addr in output_addresses if addr):
+        return None, "self_change"
+    fresh: list[tuple[int, str]] = []
+    seen_before = 0
+    for vout, address in enumerate(output_addresses):
+        if address is None:
+            continue
+        # "Appeared in a previous transaction" includes earlier in the
+        # same block: appearances strictly before this tx's receive.
+        prior = index.appearances_before(address, height)
+        if prior == 0 and not _appeared_earlier_in_block(
+            index, address, tx, height, vout
+        ):
+            fresh.append((vout, address))
+        else:
+            seen_before += 1
+    if not fresh:
+        return None, "no_fresh_output"
+    if len(fresh) > 1:
+        return None, "ambiguous"
+    if seen_before != sum(1 for a in output_addresses if a) - 1:
+        return None, "other_output_fresh"
+    return fresh[0][0], "ok"
+
+
+def _appeared_earlier_in_block(
+    index: ChainIndex, address: str, tx: Transaction, height: int, vout: int
+) -> bool:
+    """Did ``address`` already appear in an earlier tx of the same block
+    (or an earlier output of this tx)?"""
+    record = index.address(address) if index.has_address(address) else None
+    if record is None:
+        return False
+    this_pos = index.location(tx.txid).index_in_block
+    start = record.receives_before(height)
+    for receive in record.receives[start:]:
+        if receive.height != height:
+            break
+        pos = index.location(receive.txid).index_in_block
+        if pos < this_pos or (receive.txid == tx.txid and receive.vout < vout):
+            return True
+    return False
+
+
+class Heuristic2:
+    """Configurable one-time change identifier over a chain index."""
+
+    def __init__(
+        self,
+        index: ChainIndex,
+        config: Heuristic2Config | None = None,
+        *,
+        dice_addresses: frozenset[str] = frozenset(),
+    ) -> None:
+        self.index = index
+        self.config = config or Heuristic2Config.refined()
+        self.dice_addresses = dice_addresses
+
+    # ------------------------------------------------------------------
+    # refinement checks
+    # ------------------------------------------------------------------
+
+    def _later_inputs_void_one_timeness(
+        self, address: str, height: int, *, as_of_height: int | None
+    ) -> tuple[bool, bool]:
+        """Check the candidate's receives within the waiting window.
+
+        Returns ``(voided, dice_saved)``: ``voided`` when an input inside
+        the wait window disqualifies the label; ``dice_saved`` when such
+        inputs existed but were excused by the dice exception.  With no
+        waiting period configured the label is immediate (no lookahead),
+        which is the §4.1 naive behaviour.
+        """
+        if self.config.wait_seconds is None:
+            return False, False
+        record = self.index.address(address)
+        later = [
+            r
+            for r in record.receives
+            if r.height > height
+            and (as_of_height is None or r.height <= as_of_height)
+        ]
+        deadline = self.index.timestamp_at(height) + self.config.wait_seconds
+        horizon = (
+            self.index.timestamp_at(as_of_height)
+            if as_of_height is not None
+            else self.index.timestamp_at(self.index.height)
+        )
+        later = [
+            r
+            for r in later
+            if self.index.timestamp_at(r.height) <= min(deadline, horizon)
+        ]
+        if not later:
+            return False, False
+        if self.config.dice_exception and self.dice_addresses:
+            if all(self._receive_is_from_dice(r) for r in later):
+                return False, True
+        return True, False
+
+    def _receive_is_from_dice(self, receive) -> bool:
+        """Is this receive a payment sent by a dice-game address?"""
+        tx = self.index.tx(receive.txid)
+        senders = self.index.input_addresses(tx)
+        return bool(senders) and all(s in self.dice_addresses for s in senders)
+
+    def _within_window(self, event_height: int, height: int) -> bool:
+        window = self.config.rejection_window_seconds
+        if window is None:
+            return True
+        return (
+            self.index.timestamp_at(height) - self.index.timestamp_at(event_height)
+            <= window
+        )
+
+    def _some_output_is_reused_change(self, tx: Transaction, height: int) -> bool:
+        """§4.2: 'an output address had already received only one input'
+        — the same-change-address-used-twice pattern (recency-scoped;
+        heavily reused addresses like dice games are exempt, they are
+        plainly not one-time change)."""
+        for out in tx.outputs:
+            address = out.address
+            if address is None or address in self.dice_addresses:
+                continue
+            if not self.index.has_address(address):
+                continue
+            record = self.index.address(address)
+            prior = record.receives_before(height)
+            if prior == 1 and self._within_window(
+                record.receives[0].height, height
+            ):
+                return True
+        return False
+
+    def _some_output_was_self_change(self, tx: Transaction, height: int) -> bool:
+        """§4.2: 'an output address had been previously used in a
+        self-change transaction' — the pattern of self-change addresses
+        later reappearing as ordinary change, which (with reused change)
+        built the super-cluster.  Recency-scoped like the reused-change
+        rejection; known dice addresses are exempt."""
+        for out in tx.outputs:
+            address = out.address
+            if address is None or address in self.dice_addresses:
+                continue
+            for event_height in self.index.self_change_heights(address):
+                if event_height < height and self._within_window(
+                    event_height, height
+                ):
+                    return True
+        return False
+
+    # ------------------------------------------------------------------
+    # main entry points
+    # ------------------------------------------------------------------
+
+    def identify_change(
+        self, tx: Transaction, *, as_of_height: int | None = None
+    ) -> tuple[ChangeLabel | None, str]:
+        """Identify the one-time change output of ``tx``, if any.
+
+        ``as_of_height`` bounds the information used (temporal replay:
+        the analysis pretends the chain ends there).  Returns
+        ``(label, reason)``.
+        """
+        height = self.index.location(tx.txid).height
+        vout, reason = find_candidate(
+            self.index, tx, height, min_outputs=self.config.min_outputs
+        )
+        if vout is None:
+            return None, reason
+        address = tx.outputs[vout].address
+        if self.config.reject_reused_change and self._some_output_is_reused_change(
+            tx, height
+        ):
+            return None, "reused_change"
+        if self.config.reject_prior_self_change and self._some_output_was_self_change(
+            tx, height
+        ):
+            return None, "prior_self_change"
+        voided, _dice_saved = self._later_inputs_void_one_timeness(
+            address, height, as_of_height=as_of_height
+        )
+        if voided:
+            return None, "wait_voided"
+        return ChangeLabel(txid=tx.txid, vout=vout, address=address, height=height), "ok"
+
+    def run(self, *, as_of_height: int | None = None) -> Heuristic2Result:
+        """Label change addresses across the whole chain (or a prefix)."""
+        result = Heuristic2Result()
+        for tx, location in self.index.iter_transactions():
+            if as_of_height is not None and location.height > as_of_height:
+                break
+            label, reason = self.identify_change(tx, as_of_height=as_of_height)
+            if label is not None:
+                result.labels.append(label)
+            elif reason == "ambiguous":
+                result.ambiguous += 1
+            elif reason == "self_change":
+                result.skipped_self_change += 1
+            elif reason == "reused_change":
+                result.skipped_reused_change += 1
+            elif reason == "prior_self_change":
+                result.skipped_prior_self_change += 1
+            elif reason == "wait_voided":
+                result.skipped_wait += 1
+        return result
+
+    def iter_change_links(
+        self, *, as_of_height: int | None = None
+    ) -> Iterator[tuple[str, list[str]]]:
+        """Yield ``(change_address, input_addresses)`` pairs for unioning."""
+        for tx, location in self.index.iter_transactions():
+            if as_of_height is not None and location.height > as_of_height:
+                break
+            label, _reason = self.identify_change(tx, as_of_height=as_of_height)
+            if label is None:
+                continue
+            inputs = self.index.input_addresses(tx)
+            if inputs:
+                yield label.address, inputs
+
+
+def dice_addresses_from_tags(tag_store, dice_services: tuple[str, ...]) -> frozenset[str]:
+    """Addresses attributable to dice games, per the analyst's tags.
+
+    The paper applied the dice exception using its *labeled* view of
+    Satoshi Dice (tags + clustering), not ground truth; this helper
+    mirrors that by reading a tag store.
+    """
+    out: set[str] = set()
+    for tag in tag_store.all_tags():
+        if tag.entity in dice_services:
+            out.add(tag.address)
+    return frozenset(out)

@@ -1,0 +1,433 @@
+"""One function per paper table/figure — the reproduction entry points.
+
+Each function takes (or builds) a simulated world, runs the analyst
+pipeline, and returns a result object carrying both the data and a
+rendered, paper-shaped report.  The benchmarks in ``benchmarks/`` and
+the CLI both call these, so there is exactly one implementation of each
+experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .analysis.peeling import summarize_peels_by_entity
+from .chain.model import COIN, format_btc
+from .core.fp_estimation import FPEstimate
+from .core.heuristic1 import h1_statistics
+from .core.heuristic2 import Heuristic2Config
+from .core.supercluster import diagnose_superclusters
+from .metrics.evaluation import compare_clusterings, pairwise_scores
+from .pipeline import AnalystView
+from .reporting import (
+    render_figure2,
+    render_fp_ladder,
+    render_table,
+    render_table2,
+    render_table3,
+)
+from .simulation import scenarios
+from .simulation.economy import World
+
+# ----------------------------------------------------------------------
+# Table 1 — the re-identification attack roster
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Table1Result:
+    services_by_category: dict[str, list[str]]
+    transactions_made: int
+    services_engaged: int
+    addresses_tagged: int
+    report: str
+
+
+def run_table1(world: World | None = None, *, seed: int = 0) -> Table1Result:
+    """§3.1/Table 1: engage every service, count transactions and tags."""
+    world = world or scenarios.default_economy(seed=seed)
+    attack = world.extras["attack"]
+    roster = world.extras["roster"]
+    by_category = {
+        category: sorted(actor.name for actor in actors)
+        for category, actors in roster.items()
+    }
+    rows = []
+    for category, names in by_category.items():
+        engaged = sum(1 for n in names if n in attack.stats.services_engaged)
+        rows.append([category, len(names), engaged])
+    report = render_table(
+        ["category", "services", "engaged"],
+        rows,
+        title="Table 1: services interacted with (by category)",
+    )
+    report += (
+        f"\ntransactions made: {attack.stats.transactions_made}"
+        f"  (paper: 344)\naddresses tagged: {attack.tags.address_count}"
+        f"  (paper: 1,070)"
+    )
+    return Table1Result(
+        services_by_category=by_category,
+        transactions_made=attack.stats.transactions_made,
+        services_engaged=len(attack.stats.services_engaged),
+        addresses_tagged=attack.tags.address_count,
+        report=report,
+    )
+
+
+# ----------------------------------------------------------------------
+# §4 — clustering accounting (H1 counts, refined H2, naming coverage)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Section4Result:
+    h1_clusters: int
+    h1_sinks: int
+    h1_user_upper_bound: int
+    h2_clusters: int
+    h2_clusters_after_tag_collapse: int
+    change_addresses_identified: int
+    named_clusters: int
+    named_addresses: int
+    hand_tagged_addresses: int
+    amplification: float
+    mtgox_cluster_count: int
+    h1_scores: object
+    h2_scores: object
+    report: str
+
+
+def run_section4(world: World | None = None, *, seed: int = 0) -> Section4Result:
+    """§4.1–4.2 numbers: cluster counts, coverage, amplification."""
+    world = world or scenarios.default_economy(seed=seed)
+    view = AnalystView.build(world)
+    stats = h1_statistics(world.index, view.clustering_h1.uf)
+    clustering = view.clustering
+    naming = view.naming
+    naming_report = naming.report()
+    tag_map = view.tags.as_mapping()
+    collapsed = clustering.effective_cluster_count(tag_map)
+    comparison = compare_clusterings(
+        view.clustering_h1,
+        clustering,
+        world.ground_truth,
+        label_a="H1",
+        label_b="H1+H2",
+    )
+    mtgox_clusters = len(naming.clusters_named("Mt Gox"))
+    rows = [
+        ["H1 co-spend clusters", stats.spender_clusters, "5.5M"],
+        ["sink addresses", stats.sink_addresses, "—"],
+        ["max users upper bound", stats.max_users_upper_bound, "6,595,564"],
+        ["H1+H2 clusters", clustering.cluster_count, "3,384,179"],
+        ["after tag collapse", collapsed, "3,383,904"],
+        ["change addresses identified",
+         len(clustering.h2_result.labels) if clustering.h2_result else 0,
+         "3,540,831"],
+        ["named clusters", naming_report.named_cluster_count, "2,197"],
+        ["named addresses", naming_report.named_address_count, "1.8M"],
+        ["hand-tagged addresses", naming_report.hand_tagged_address_count, "1,070"],
+        ["amplification", f"×{naming_report.amplification:.0f}", "×1,600"],
+        ["Mt Gox clusters named", mtgox_clusters, "20"],
+        ["H1 pairwise recall", f"{comparison.scores_a.recall:.3f}", "—"],
+        ["H1+H2 pairwise recall", f"{comparison.scores_b.recall:.3f}", "—"],
+        ["H1 pairwise precision", f"{comparison.scores_a.precision:.3f}", "—"],
+        ["H1+H2 pairwise precision", f"{comparison.scores_b.precision:.3f}", "—"],
+    ]
+    report = render_table(
+        ["quantity", "measured", "paper"], rows, title="§4 clustering accounting"
+    )
+    return Section4Result(
+        h1_clusters=stats.spender_clusters,
+        h1_sinks=stats.sink_addresses,
+        h1_user_upper_bound=stats.max_users_upper_bound,
+        h2_clusters=clustering.cluster_count,
+        h2_clusters_after_tag_collapse=collapsed,
+        change_addresses_identified=(
+            len(clustering.h2_result.labels) if clustering.h2_result else 0
+        ),
+        named_clusters=naming_report.named_cluster_count,
+        named_addresses=naming_report.named_address_count,
+        hand_tagged_addresses=naming_report.hand_tagged_address_count,
+        amplification=naming_report.amplification,
+        mtgox_cluster_count=mtgox_clusters,
+        h1_scores=comparison.scores_a,
+        h2_scores=comparison.scores_b,
+        report=report,
+    )
+
+
+# ----------------------------------------------------------------------
+# §4.2 — the false-positive refinement ladder + super-cluster check
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class FPLadderResult:
+    estimates: list[FPEstimate]
+    naive_supercluster_entities: int
+    refined_supercluster_entities: int
+    naive_merges_majors: bool
+    refined_merges_majors: bool
+    report: str
+
+
+MAJOR_SERVICES = ("Mt Gox", "Instawallet", "Bitpay", "Silk Road")
+"""The four entities the paper's super-cluster wrongly merged."""
+
+
+def run_fp_ladder(world: World | None = None, *, seed: int = 0) -> FPLadderResult:
+    """§4.2: the 13% → 1% → 0.28% → 0.17% ladder + super-cluster test."""
+    world = world or scenarios.default_economy(seed=seed)
+    view = AnalystView.build(world)
+    estimates = view.fp_estimator().refinement_ladder()
+    tag_map = view.tags.as_mapping()
+    naive_view = AnalystView.build(world, h2_config=Heuristic2Config.naive())
+    naive_report = diagnose_superclusters(naive_view.clustering, tag_map)
+    refined_report = diagnose_superclusters(view.clustering, tag_map)
+    naive_merges = _merges_any_majors(naive_report)
+    refined_merges = _merges_any_majors(refined_report)
+    report = render_fp_ladder(estimates)
+    report += "\n" + render_table(
+        ["clustering", "entities merged somewhere", "merges majors?"],
+        [
+            ["naive H2", naive_report.merged_entity_count, naive_merges],
+            ["refined H2", refined_report.merged_entity_count, refined_merges],
+        ],
+        title="super-cluster diagnosis",
+    )
+    return FPLadderResult(
+        estimates=estimates,
+        naive_supercluster_entities=naive_report.merged_entity_count,
+        refined_supercluster_entities=refined_report.merged_entity_count,
+        naive_merges_majors=naive_merges,
+        refined_merges_majors=refined_merges,
+        report=report,
+    )
+
+
+def _merges_any_majors(report) -> bool:
+    majors = set(MAJOR_SERVICES)
+    return any(
+        len(majors & set(info.entities)) >= 2 for info in report.merged_clusters
+    )
+
+
+# ----------------------------------------------------------------------
+# Table 2 — tracking bitcoins from the hoard
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Table2Result:
+    chain_summaries: list[dict]
+    total_peels: int
+    named_peels: int
+    exchange_peels: int
+    exchange_btc: float
+    report: str
+
+
+def run_table2(world: World | None = None, *, seed: int = 1) -> Table2Result:
+    """§5/Table 2: follow the three dissolution chains for 100 hops."""
+    world = world or scenarios.silkroad_world(seed=seed)
+    view = AnalystView.build(world)
+    hoard = world.extras["hoard"]
+    tracker = view.peeling_tracker()
+    known = view.naming.name_of_address
+    exchange_entities = view.entities_in_category("exchanges") | (
+        view.entities_in_category("fixed")
+    )
+    summaries = []
+    total_peels = named_peels = exchange_peels = 0
+    exchange_value = 0
+    for head in hoard.state.chain_start_addresses:
+        chain = tracker.follow_address(head, max_hops=100)
+        summary = summarize_peels_by_entity(chain, known)
+        # Drop user names: the paper can only name services.
+        summary = {
+            name: s
+            for name, s in summary.items()
+            if not name.startswith("user") and name != "analyst"
+        }
+        summaries.append(summary)
+        total_peels += len(chain.peels)
+        named_peels += sum(s.peel_count for s in summary.values())
+        for name, s in summary.items():
+            if name in exchange_entities:
+                exchange_peels += s.peel_count
+                exchange_value += s.total_value
+    report = render_table2(summaries)
+    report += (
+        f"\npeels followed: {total_peels} (paper: 300)"
+        f"\npeels to named services: {named_peels}"
+        f"\npeels to exchanges: {exchange_peels} (paper: 54/300)"
+        f"\nBTC to exchanges: {format_btc(exchange_value)}"
+    )
+    return Table2Result(
+        chain_summaries=summaries,
+        total_peels=total_peels,
+        named_peels=named_peels,
+        exchange_peels=exchange_peels,
+        exchange_btc=exchange_value / COIN,
+        report=report,
+    )
+
+
+# ----------------------------------------------------------------------
+# Table 3 — tracking thefts
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Table3Result:
+    rows: list[dict] = field(default_factory=list)
+    grammar_matches: int = 0
+    exchange_flag_matches: int = 0
+    report: str = ""
+
+
+def run_table3(world: World | None = None, *, seed: int = 2) -> Table3Result:
+    """§5/Table 3: classify each theft's movement and exchange reach."""
+    world = world or scenarios.theft_world(seed=seed)
+    view = AnalystView.build(world)
+    tracker = view.theft_tracker()
+    exchange_entities = view.entities_in_category("exchanges") | (
+        view.entities_in_category("fixed")
+    )
+    result = Table3Result()
+    for theft in world.extras["thefts"]:
+        record = theft.record
+        analysis = tracker.track(record.theft_txids)
+        reached = analysis.reached(exchange_entities)
+        row = {
+            "name": record.spec.name,
+            "btc": f"{record.spec.paper_btc:,.0f}",
+            "movement_paper": record.spec.movement,
+            "movement_found": analysis.movement,
+            "reached_exchanges": reached,
+            "expected_reach": record.spec.reaches_exchanges,
+            "exchange_btc": analysis.value_to(exchange_entities) / COIN,
+            "dormant_btc": analysis.dormant_value / COIN,
+        }
+        result.rows.append(row)
+        if analysis.movement == record.spec.movement:
+            result.grammar_matches += 1
+        if reached == record.spec.reaches_exchanges:
+            result.exchange_flag_matches += 1
+    result.report = render_table3(result.rows)
+    result.report += (
+        f"\nmovement grammar recovered exactly: "
+        f"{result.grammar_matches}/{len(result.rows)}"
+        f"\nexchange-reach flag correct: "
+        f"{result.exchange_flag_matches}/{len(result.rows)}"
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 2 — category balances over time
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Figure2Result:
+    series: object
+    peaks: dict[str, float]
+    report: str
+
+
+def run_figure2(world: World | None = None, *, seed: int = 1) -> Figure2Result:
+    """Figure 2: balance per category as % of active bitcoins.
+
+    Peaks skip the first fifth of the window: with only a handful of
+    active coins in existence, a single payment is a huge share of
+    activity, which the paper's Dec-2010-onward window never exhibits.
+    """
+    world = world or scenarios.silkroad_world(seed=seed)
+    view = AnalystView.build(world)
+    series = view.balance_series(samples=80)
+    peaks = {
+        c: series.peak(c, skip_fraction=0.2) for c in series.by_category
+    }
+    return Figure2Result(
+        series=series, peaks=peaks, report=render_figure2(series)
+    )
+
+
+# ----------------------------------------------------------------------
+# Ablation — value of each H2 refinement rung
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class AblationResult:
+    rows: list[dict]
+    report: str
+
+
+def run_ablation(world: World | None = None, *, seed: int = 0) -> AblationResult:
+    """Sweep the H2 refinement toggles; score each against ground truth."""
+    world = world or scenarios.default_economy(seed=seed)
+    configs = [
+        ("naive", Heuristic2Config.naive()),
+        (
+            "+dice",
+            Heuristic2Config(
+                dice_exception=True,
+                wait_seconds=None,
+                reject_reused_change=False,
+                reject_prior_self_change=False,
+            ),
+        ),
+        (
+            "+wait-week",
+            Heuristic2Config(
+                dice_exception=True,
+                reject_reused_change=False,
+                reject_prior_self_change=False,
+            ),
+        ),
+        (
+            "+reject-reused",
+            Heuristic2Config(
+                dice_exception=True,
+                reject_reused_change=True,
+                reject_prior_self_change=False,
+            ),
+        ),
+        ("refined (all)", Heuristic2Config.refined()),
+    ]
+    rows = []
+    for name, config in configs:
+        view = AnalystView.build(world, h2_config=config)
+        clustering = view.clustering
+        scores = pairwise_scores(clustering, world.ground_truth)
+        labels = len(clustering.h2_result.labels) if clustering.h2_result else 0
+        rows.append(
+            {
+                "config": name,
+                "clusters": clustering.cluster_count,
+                "change_labels": labels,
+                "precision": scores.precision,
+                "recall": scores.recall,
+                "f1": scores.f1,
+            }
+        )
+    report = render_table(
+        ["config", "clusters", "labels", "precision", "recall", "F1"],
+        [
+            [
+                r["config"],
+                r["clusters"],
+                r["change_labels"],
+                f"{r['precision']:.4f}",
+                f"{r['recall']:.4f}",
+                f"{r['f1']:.4f}",
+            ]
+            for r in rows
+        ],
+        title="Ablation: H2 refinement rungs",
+    )
+    return AblationResult(rows=rows, report=report)

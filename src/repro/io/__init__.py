@@ -1,0 +1,17 @@
+"""Exports: CSV/JSON artifacts and GraphML graphs."""
+
+from .export import (
+    export_clusters_csv,
+    export_naming_json,
+    export_peel_chain_json,
+    export_tags_csv,
+)
+from .graphml import export_user_graph_graphml
+
+__all__ = [
+    "export_clusters_csv",
+    "export_naming_json",
+    "export_peel_chain_json",
+    "export_tags_csv",
+    "export_user_graph_graphml",
+]

@@ -1,0 +1,117 @@
+"""CSV / JSON exports of clusterings, tags, and flow analyses.
+
+These are the artifacts a downstream investigator would hand to another
+tool (a spreadsheet, a graph database, a subpoena exhibit): cluster
+membership tables, tag lists, peel logs.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from pathlib import Path
+
+from ..analysis.peeling import PeelChain
+from ..chain.model import format_btc
+from ..core.clustering import Clustering
+from ..tagging.tags import TagStore
+
+
+def export_clusters_csv(
+    clustering: Clustering,
+    path: str | os.PathLike[str],
+    *,
+    name_of_cluster=None,
+    min_size: int = 1,
+) -> int:
+    """Write ``address,cluster_id,cluster_size,name`` rows.
+
+    Returns the number of rows written.  Cluster ids are the canonical
+    root addresses, which are stable for a given chain.
+    """
+    name_of_cluster = name_of_cluster or (lambda _root: None)
+    rows = 0
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["address", "cluster_id", "cluster_size", "name"])
+        for root, members in sorted(
+            clustering.clusters().items(), key=lambda kv: -len(kv[1])
+        ):
+            if len(members) < min_size:
+                continue
+            name = name_of_cluster(root) or ""
+            for address in sorted(members):
+                writer.writerow([address, root, len(members), name])
+                rows += 1
+    return rows
+
+
+def export_tags_csv(tags: TagStore, path: str | os.PathLike[str]) -> int:
+    """Write ``address,entity,source,confidence`` rows."""
+    rows = 0
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["address", "entity", "source", "confidence"])
+        for tag in sorted(
+            tags.all_tags(), key=lambda t: (t.entity, t.address, t.source)
+        ):
+            writer.writerow([tag.address, tag.entity, tag.source, tag.confidence])
+            rows += 1
+    return rows
+
+
+def export_peel_chain_json(
+    chain: PeelChain,
+    path: str | os.PathLike[str],
+    *,
+    name_of_address=None,
+) -> None:
+    """Write one followed peel chain as a JSON document."""
+    name_of_address = name_of_address or (lambda _a: None)
+    doc = {
+        "start_address": chain.start_address,
+        "hop_count": chain.hop_count,
+        "terminated": chain.terminated,
+        "total_peeled_btc": format_btc(chain.total_peeled()),
+        "hops": [
+            {
+                "hop": hop.hop,
+                "txid": hop.txid[::-1].hex(),
+                "height": hop.height,
+                "kind": hop.kind,
+                "change_address": hop.change_address,
+                "remaining_btc": format_btc(hop.remaining_value),
+                "peels": [
+                    {
+                        "address": peel.address,
+                        "btc": format_btc(peel.value),
+                        "entity": name_of_address(peel.address),
+                    }
+                    for peel in hop.peels
+                ],
+            }
+            for hop in chain.hops
+        ],
+    }
+    Path(path).write_text(json.dumps(doc, indent=2))
+
+
+def export_naming_json(naming, path: str | os.PathLike[str]) -> None:
+    """Write the named-cluster table as JSON."""
+    report = naming.report()
+    doc = {
+        "named_cluster_count": report.named_cluster_count,
+        "named_address_count": report.named_address_count,
+        "amplification": report.amplification,
+        "clusters": [
+            {
+                "name": cluster.name,
+                "size": cluster.size,
+                "tag_count": cluster.tag_count,
+                "conflicts": list(cluster.conflicting_entities),
+            }
+            for cluster in naming.named_clusters()
+        ],
+    }
+    Path(path).write_text(json.dumps(doc, indent=2))

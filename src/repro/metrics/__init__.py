@@ -1,0 +1,23 @@
+"""Evaluation metrics: clustering quality vs simulation ground truth."""
+
+from .evaluation import (
+    ClusteringComparison,
+    EntityFragmentation,
+    PairwiseScores,
+    PurityScores,
+    cluster_purity,
+    compare_clusterings,
+    entity_fragmentation,
+    pairwise_scores,
+)
+
+__all__ = [
+    "ClusteringComparison",
+    "EntityFragmentation",
+    "PairwiseScores",
+    "PurityScores",
+    "cluster_purity",
+    "compare_clusterings",
+    "entity_fragmentation",
+    "pairwise_scores",
+]

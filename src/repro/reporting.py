@@ -1,0 +1,143 @@
+"""Renderers for the paper's tables and figures.
+
+Each bench prints its table/figure through these helpers, so the output
+format mirrors the paper: Table 1's roster by category, §4's cluster
+counts, the §4.2 false-positive ladder, Table 2's peel counts per
+service per chain, Table 3's theft movements, and Figure 2's balance
+series (as an ASCII chart — we are a terminal-first library).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .chain.model import format_btc
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], *, title: str = ""
+) -> str:
+    """Plain monospace table."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_fp_ladder(estimates, *, title: str = "§4.2 false-positive ladder") -> str:
+    """The refinement ladder: estimated vs (when known) true FP rates."""
+    rows = []
+    for estimate in estimates:
+        true_rate = (
+            f"{estimate.true_rate:.2%}" if estimate.true_rate is not None else "n/a"
+        )
+        rows.append(
+            [
+                estimate.name,
+                estimate.labeled,
+                estimate.estimated_false_positives,
+                f"{estimate.estimated_rate:.2%}",
+                true_rate,
+            ]
+        )
+    return render_table(
+        ["refinement", "labeled", "est FP", "est rate", "true rate"],
+        rows,
+        title=title,
+    )
+
+
+def render_table2(
+    chain_summaries: list[dict[str, object]],
+    *,
+    title: str = "Table 2: tracking bitcoins from the hoard",
+) -> str:
+    """Per-chain peel counts/values per service.
+
+    ``chain_summaries`` is a list (one per chain) of
+    ``{service: ServicePeelSummary}`` dicts.
+    """
+    services: list[str] = []
+    for summary in chain_summaries:
+        for name in summary:
+            if name not in services:
+                services.append(name)
+    services.sort()
+    headers = ["Service"]
+    for i in range(len(chain_summaries)):
+        headers += [f"#{i + 1} peels", f"#{i + 1} BTC"]
+    rows = []
+    for service in services:
+        row: list[object] = [service]
+        for summary in chain_summaries:
+            entry = summary.get(service)
+            row.append(entry.peel_count if entry else "")
+            row.append(format_btc(entry.total_value) if entry else "")
+        rows.append(row)
+    return render_table(headers, rows, title=title)
+
+
+def render_table3(
+    rows: list[dict[str, object]],
+    *,
+    title: str = "Table 3: tracking thefts",
+) -> str:
+    """Theft rows: name, BTC, movement (paper vs recovered), exchanges."""
+    return render_table(
+        ["Theft", "BTC", "Movement(paper)", "Movement(found)", "Exchanges?"],
+        [
+            [
+                r["name"],
+                r["btc"],
+                r["movement_paper"],
+                r["movement_found"],
+                "Yes" if r["reached_exchanges"] else "No",
+            ]
+            for r in rows
+        ],
+        title=title,
+    )
+
+
+def render_figure2(series, *, width: int = 72, title: str = "Figure 2") -> str:
+    """ASCII rendering of the category balance percentage series."""
+    lines = [f"{title}: balance per category, % of active bitcoins"]
+    for category in series.by_category:
+        pct = series.percentage(category)
+        if not len(pct):
+            continue
+        peak = float(pct.max())
+        sampled = _resample(pct, width)
+        spark = "".join(_spark_char(v, peak) for v in sampled)
+        lines.append(f"  {category:>12s} |{spark}| peak {peak:5.1f}%")
+    lines.append(
+        f"  {'x-axis':>12s}  height 0 .. {series.heights[-1]}"
+        f"  ({len(series.heights)} samples)"
+    )
+    return "\n".join(lines)
+
+
+_SPARK_LEVELS = " ▁▂▃▄▅▆▇█"
+
+
+def _resample(values, width: int):
+    if len(values) <= width:
+        return list(values)
+    step = len(values) / width
+    return [values[int(i * step)] for i in range(width)]
+
+
+def _spark_char(value: float, peak: float) -> str:
+    if peak <= 0:
+        return " "
+    level = int(round(value / peak * (len(_SPARK_LEVELS) - 1)))
+    return _SPARK_LEVELS[max(0, min(level, len(_SPARK_LEVELS) - 1))]

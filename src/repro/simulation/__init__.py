@@ -1,0 +1,76 @@
+"""Synthetic Bitcoin economy: the ground-truth-bearing chain generator.
+
+The simulation substitutes for the real 2009–2013 block chain (see
+DESIGN.md §2): actor models reproduce the idioms of use the paper's
+heuristics exploit, and every minted address is registered in a
+:class:`~repro.simulation.ground_truth.GroundTruth` so clustering
+accuracy is measurable, not just estimable.
+"""
+
+from . import scenarios
+from .builder import (
+    CHANGE_FRESH,
+    CHANGE_NONE,
+    CHANGE_REUSE,
+    CHANGE_SELF,
+    BuiltTransaction,
+    build_payment,
+    build_sweep,
+    choose_change_kind,
+)
+from .economy import ChangeRecord, Economy, World, finish
+from .ground_truth import EntityInfo, GroundTruth
+from .params import (
+    BANK_EXCHANGES,
+    DICE_GAMES,
+    FIGURE2_CATEGORIES,
+    FIXED_EXCHANGES,
+    GAMBLING_SITES,
+    MINING_POOLS,
+    MISC_SERVICES,
+    VENDORS,
+    WALLET_SERVICES,
+    ChangePolicy,
+    EconomyParams,
+    ExchangeParams,
+    GamblingParams,
+    PoolParams,
+    UserParams,
+)
+from .wallet import Coin, InsufficientFundsError, Wallet
+
+__all__ = [
+    "BANK_EXCHANGES",
+    "BuiltTransaction",
+    "CHANGE_FRESH",
+    "CHANGE_NONE",
+    "CHANGE_REUSE",
+    "CHANGE_SELF",
+    "ChangePolicy",
+    "ChangeRecord",
+    "Coin",
+    "DICE_GAMES",
+    "Economy",
+    "EconomyParams",
+    "EntityInfo",
+    "ExchangeParams",
+    "FIGURE2_CATEGORIES",
+    "FIXED_EXCHANGES",
+    "GAMBLING_SITES",
+    "GamblingParams",
+    "GroundTruth",
+    "InsufficientFundsError",
+    "MINING_POOLS",
+    "MISC_SERVICES",
+    "PoolParams",
+    "UserParams",
+    "VENDORS",
+    "WALLET_SERVICES",
+    "Wallet",
+    "World",
+    "build_payment",
+    "build_sweep",
+    "choose_change_kind",
+    "finish",
+    "scenarios",
+]

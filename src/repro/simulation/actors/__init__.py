@@ -1,0 +1,51 @@
+"""Actor models for the synthetic Bitcoin economy."""
+
+from .base import Actor
+from .exchange import Exchange, FixedRateExchange
+from .gambling import CasinoSite, DiceGame, PendingBet
+from .hoard import HoardConfig, HoardState, SilkRoadHoard
+from .mining import MiningPool
+from .misc import DonationService, InvestmentScheme, MiscService
+from .mixer import (
+    BEHAVIOUR_HONEST,
+    BEHAVIOUR_RETURN_SAME,
+    BEHAVIOUR_STEAL,
+    Mixer,
+)
+from .scripts import PeelChainRunner, PeelRecord, aggregate, fold, split
+from .thief import TheftRecord, TheftScript, TheftSpec
+from .users import UserActor
+from .vendor import PaymentGateway, Vendor
+from .wallet_service import WalletService
+
+__all__ = [
+    "Actor",
+    "BEHAVIOUR_HONEST",
+    "BEHAVIOUR_RETURN_SAME",
+    "BEHAVIOUR_STEAL",
+    "CasinoSite",
+    "DiceGame",
+    "DonationService",
+    "Exchange",
+    "FixedRateExchange",
+    "HoardConfig",
+    "HoardState",
+    "InvestmentScheme",
+    "MiningPool",
+    "MiscService",
+    "Mixer",
+    "PaymentGateway",
+    "PeelChainRunner",
+    "PeelRecord",
+    "PendingBet",
+    "SilkRoadHoard",
+    "TheftRecord",
+    "TheftScript",
+    "TheftSpec",
+    "UserActor",
+    "Vendor",
+    "WalletService",
+    "aggregate",
+    "fold",
+    "split",
+]

@@ -1,0 +1,69 @@
+"""Actor framework for the synthetic economy.
+
+An :class:`Actor` is one economic entity — a service, a user, a thief.
+Actors own one or more :class:`~repro.simulation.wallet.Wallet` objects
+(created through the economy so ownership registration is automatic) and
+get a :meth:`step` callback once per block to act.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING
+
+from ..wallet import Wallet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..economy import Economy
+
+
+class Actor:
+    """Base class for all economic entities."""
+
+    def __init__(self, name: str, category: str) -> None:
+        self.name = name
+        self.category = category
+        self.economy: "Economy | None" = None
+        self._wallet: Wallet | None = None
+        self.rng: random.Random = random.Random(0)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def attach(self, economy: "Economy") -> None:
+        """Called by :meth:`Economy.register`; wires wallet and RNG."""
+        self.economy = economy
+        self.rng = economy.child_rng(self.name)
+        self._wallet = economy.create_wallet(self.name, rng=self.rng)
+        self.on_attached()
+
+    def on_attached(self) -> None:
+        """Hook for subclasses needing extra wallets or setup."""
+
+    @property
+    def wallet(self) -> Wallet:
+        """The actor's primary wallet."""
+        if self._wallet is None:
+            raise RuntimeError(f"actor {self.name!r} is not attached to an economy")
+        return self._wallet
+
+    # ------------------------------------------------------------------
+    # behaviour
+    # ------------------------------------------------------------------
+
+    def step(self, height: int) -> None:
+        """Per-block behaviour; default is to do nothing."""
+
+    def payment_address(self) -> str:
+        """An address a counterparty should pay.  Fresh by default, as
+        services of the era issued per-transaction deposit addresses."""
+        return self.wallet.fresh_address()
+
+    @property
+    def balance(self) -> int:
+        """Spendable satoshis in the primary wallet."""
+        return self.wallet.balance
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r}, {self.category!r})"

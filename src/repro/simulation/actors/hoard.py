@@ -1,0 +1,229 @@
+"""The Silk Road hoard: the 1DkyBEKt lifecycle (§5, Table 2).
+
+Reproduces the three phases the paper documents:
+
+1. **Accumulation** (Jan–Aug 2012): repeated aggregate deposits — the
+   funds of up to 128 marketplace addresses combined into the hoard
+   address — until it holds a large share of all active coins.
+2. **Dissolution** (from Aug 2012): large withdrawals (20k, 19k, 60k,
+   100k, 100k, 150k BTC, paper scale) to separate addresses, and finally
+   158,336 BTC into a single address.
+3. **Peeling** : that final address peels 50,000 + 50,000 BTC to two
+   addresses, leaving 58,336 for a third; each of the three starts a
+   peeling chain whose peels reach real services (Table 2).
+
+Amounts are multiplied by ``amount_scale`` because the simulated economy
+mints far fewer coins than 2012 Bitcoin; the *structure* (aggregate
+shapes, withdrawal sequence, three chains, service mix) is preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...chain.model import COIN
+from ..builder import CHANGE_FRESH, build_payment, build_sweep
+from ..params import CATEGORY_CRIME
+from ..wallet import Wallet
+from .base import Actor
+from .scripts import PeelChainRunner, RecipientChooser
+
+PAPER_WITHDRAWALS_BTC = (20_000, 19_000, 60_000, 100_000, 100_000, 150_000)
+PAPER_FINAL_BTC = 158_336
+PAPER_FIRST_PEELS_BTC = (50_000, 50_000)  # remainder 58,336 goes to chain 3
+PAPER_TOTAL_RECEIVED_BTC = 613_326
+
+
+@dataclass
+class HoardConfig:
+    """Heights and scale for the hoard lifecycle."""
+
+    accumulate_start: int
+    accumulate_interval: int
+    dissolve_height: int
+    amount_scale: float = 0.01
+    max_aggregate_inputs: int = 128
+    chain_hops: int = 100
+    hops_per_block: int = 4
+    recipient_chooser: RecipientChooser | None = None
+
+
+@dataclass
+class HoardState:
+    """Observable artifacts for the benches/tests."""
+
+    hoard_address: str | None = None
+    deposits: list[bytes] = field(default_factory=list)
+    withdrawal_addresses: list[str] = field(default_factory=list)
+    final_address: str | None = None
+    chain_start_addresses: list[str] = field(default_factory=list)
+    chains: list[PeelChainRunner] = field(default_factory=list)
+    successor_address: str | None = None
+
+
+class SilkRoadHoard(Actor):
+    """Actor owning the 1DkyBEKt-style address and its dissolution.
+
+    The hoard aggregates coins from a *source wallet* (the marketplace's
+    sale income, supplied by the scenario) into one famous address, then
+    dissolves it per the paper's timeline.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        config: HoardConfig,
+        *,
+        source_wallet_provider,
+    ) -> None:
+        super().__init__(name, CATEGORY_CRIME)
+        self.config = config
+        self.state = HoardState()
+        self._source_wallet_provider = source_wallet_provider
+        self._dissolving = False
+        self._withdrawals_done = 0
+
+    def on_attached(self) -> None:
+        self.state.hoard_address = self.wallet.fresh_address(kind="hoard")
+
+    # ------------------------------------------------------------------
+    # phases
+    # ------------------------------------------------------------------
+
+    def step(self, height: int) -> None:
+        cfg = self.config
+        if height < cfg.dissolve_height:
+            if (
+                height >= cfg.accumulate_start
+                and (height - cfg.accumulate_start) % cfg.accumulate_interval == 0
+            ):
+                self._aggregate_deposit()
+            return
+        if not self._dissolving:
+            self._dissolving = True
+            self._dissolve()
+            # The marketplace keeps operating: later income aggregates
+            # into a *successor* cold address — the "changing storage
+            # structure" theory for the 1DkyBEKt dissipation (§5).
+            self.state.successor_address = self.wallet.fresh_address(
+                kind="successor"
+            )
+            return
+        for chain in self.state.chains:
+            chain.step(self.economy)
+        if (height - cfg.accumulate_start) % cfg.accumulate_interval == 0:
+            self._aggregate_into_successor()
+
+    def _aggregate_deposit(self) -> None:
+        """One 'funds of N addresses combined' deposit into the hoard."""
+        source: Wallet = self._source_wallet_provider()
+        coins = source.coins()[: self.config.max_aggregate_inputs]
+        fee = self.economy.params.fee
+        if len(coins) < 2 or sum(c.value for c in coins) <= fee:
+            return
+        built = build_sweep(source, self.state.hoard_address, coins=coins, fee=fee)
+        tx = self.economy.submit(built, source)
+        self.state.deposits.append(tx.txid)
+
+    def _aggregate_into_successor(self) -> None:
+        """Post-dissolution marketplace income flows to the successor."""
+        source: Wallet = self._source_wallet_provider()
+        coins = source.coins()[: self.config.max_aggregate_inputs]
+        fee = self.economy.params.fee
+        if len(coins) < 2 or sum(c.value for c in coins) <= fee:
+            return
+        built = build_sweep(
+            source, self.state.successor_address, coins=coins, fee=fee
+        )
+        self.economy.submit(built, source)
+
+    def _scaled(self, btc_amount: float) -> int:
+        return int(btc_amount * self.config.amount_scale * COIN)
+
+    def _dissolve(self) -> None:
+        """Run the withdrawal sequence and seed the three peel chains."""
+        fee = self.economy.params.fee
+        hoard_coins = [
+            c for c in self.wallet.coins() if c.address == self.state.hoard_address
+        ]
+        available = sum(c.value for c in hoard_coins)
+        # The six large withdrawals, each to its own fresh address.
+        for paper_btc in PAPER_WITHDRAWALS_BTC:
+            amount = min(self._scaled(paper_btc), max(0, available - 8 * fee))
+            if amount <= fee * 4:
+                continue
+            destination = self.wallet.fresh_address(kind="withdrawal")
+            built = build_payment(
+                self.wallet,
+                [(destination, amount)],
+                fee=fee,
+                change_kind=CHANGE_FRESH,
+                rng=self.rng,
+                coins=self._coins_covering(amount + fee),
+            )
+            self.economy.submit(built, self.wallet)
+            self.state.withdrawal_addresses.append(destination)
+            available = self.wallet.balance
+        # The final deposit: everything left into a single address.
+        final_address = self.wallet.fresh_address(kind="final")
+        built = build_sweep(self.wallet, final_address, fee=fee)
+        self.economy.submit(built, self.wallet)
+        self.state.final_address = final_address
+        final_coin = self.wallet.coin_at(final_address)
+        # Two 50k peels; the remainder is swept to the third chain head.
+        chain_heads = []
+        for paper_btc in PAPER_FIRST_PEELS_BTC:
+            amount = min(self._scaled(paper_btc), final_coin.value - 4 * fee)
+            head = self.wallet.fresh_address(kind="chain-head")
+            built = build_payment(
+                self.wallet,
+                [(head, amount)],
+                fee=fee,
+                change_kind=CHANGE_FRESH,
+                rng=self.rng,
+                coins=[final_coin],
+            )
+            self.economy.submit(built, self.wallet)
+            chain_heads.append(head)
+            final_coin = self.wallet.coin_at(built.change_address)
+        third_head = self.wallet.fresh_address(kind="chain-head")
+        built = build_sweep(self.wallet, third_head, coins=[final_coin], fee=fee)
+        self.economy.submit(built, self.wallet)
+        chain_heads.append(third_head)
+        self.state.chain_start_addresses = chain_heads
+        chooser = self.config.recipient_chooser
+        if chooser is None:
+            raise RuntimeError("hoard needs a recipient_chooser to start chains")
+        for head in chain_heads:
+            coin = self.wallet.coin_at(head)
+            self.state.chains.append(
+                PeelChainRunner(
+                    wallet=self.wallet,
+                    coin=coin,
+                    choose_recipient=chooser,
+                    n_hops=self.config.chain_hops,
+                    rng=self.rng,
+                    hops_per_block=self.config.hops_per_block,
+                )
+            )
+
+    def _coins_covering(self, amount: int) -> list:
+        """Oldest-first coins covering ``amount`` from the hoard address."""
+        selected, total = [], 0
+        for coin in self.wallet.coins():
+            if coin.address != self.state.hoard_address:
+                continue
+            selected.append(coin)
+            total += coin.value
+            if total >= amount:
+                break
+        if total < amount:
+            # Fall back to any coins (the address may have been drained).
+            for coin in self.wallet.coins():
+                if coin in selected:
+                    continue
+                selected.append(coin)
+                total += coin.value
+                if total >= amount:
+                    break
+        return selected

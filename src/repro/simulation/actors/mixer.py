@@ -1,0 +1,126 @@
+"""Mix / laundry services (§3.1 "Miscellaneous").
+
+Three observed behaviours, all reproduced:
+
+* ``honest``      — after a delay, pays the customer from *unrelated*
+  pooled coins (what a mix is supposed to do);
+* ``return_same`` — pays the customer back with the very coins they sent
+  (the paper caught Bitcoin Laundry doing this twice, suggesting the
+  authors were its only customer);
+* ``steal``       — never pays (BitMix "simply stole our money").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..builder import CHANGE_FRESH, build_payment
+from ...chain.model import OutPoint
+from ..params import CATEGORY_MISC
+from ..wallet import InsufficientFundsError
+from .base import Actor
+
+BEHAVIOUR_HONEST = "honest"
+BEHAVIOUR_RETURN_SAME = "return_same"
+BEHAVIOUR_STEAL = "steal"
+
+
+@dataclass(frozen=True, slots=True)
+class MixRequest:
+    """One customer mix: paid-in outpoint, payout target, readiness."""
+
+    paid_outpoint: OutPoint
+    amount: int
+    return_address: str
+    ready_at_height: int
+
+
+class Mixer(Actor):
+    """A mix service with configurable honesty."""
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        behaviour: str = BEHAVIOUR_HONEST,
+        delay_blocks: int = 6,
+        cut: float = 0.02,
+    ) -> None:
+        if behaviour not in (BEHAVIOUR_HONEST, BEHAVIOUR_RETURN_SAME, BEHAVIOUR_STEAL):
+            raise ValueError(f"unknown mixer behaviour {behaviour!r}")
+        super().__init__(name, CATEGORY_MISC)
+        self.behaviour = behaviour
+        self.delay_blocks = delay_blocks
+        self.cut = cut
+        self._requests: list[MixRequest] = []
+
+    def intake_address(self) -> str:
+        """Fresh address a customer should send coins to."""
+        return self.wallet.fresh_address()
+
+    def request_mix(
+        self, paid_outpoint: OutPoint, amount: int, return_address: str
+    ) -> None:
+        """Register a mix after the customer's payment is submitted."""
+        if self.economy is None:
+            raise RuntimeError("mixer not attached")
+        self._requests.append(
+            MixRequest(
+                paid_outpoint=paid_outpoint,
+                amount=amount,
+                return_address=return_address,
+                ready_at_height=self.economy.height + self.delay_blocks,
+            )
+        )
+
+    def step(self, height: int) -> None:
+        if self.behaviour == BEHAVIOUR_STEAL:
+            return  # keep everything, forever
+        fee = self.economy.params.fee
+        pending: list[MixRequest] = []
+        for request in self._requests:
+            if height < request.ready_at_height:
+                pending.append(request)
+                continue
+            payout = int(request.amount * (1.0 - self.cut)) - fee
+            if payout <= 0:
+                continue
+            coins = None
+            if self.behaviour == BEHAVIOUR_RETURN_SAME:
+                same = [
+                    c
+                    for c in self.wallet.coins()
+                    if c.outpoint == request.paid_outpoint
+                ]
+                if same:
+                    coins = same
+            else:
+                # Honest: prefer coins other than the one paid in.
+                others = [
+                    c
+                    for c in self.wallet.coins()
+                    if c.outpoint != request.paid_outpoint
+                ]
+                total_other = sum(c.value for c in others)
+                if total_other >= payout + fee:
+                    selected, acc = [], 0
+                    for coin in others:
+                        selected.append(coin)
+                        acc += coin.value
+                        if acc >= payout + fee:
+                            break
+                    coins = selected
+            try:
+                built = build_payment(
+                    self.wallet,
+                    [(request.return_address, payout)],
+                    fee=fee,
+                    change_kind=CHANGE_FRESH,
+                    rng=self.rng,
+                    coins=coins,
+                )
+            except (InsufficientFundsError, ValueError):
+                pending.append(request)
+                continue
+            self.economy.submit(built, self.wallet)
+        self._requests = pending

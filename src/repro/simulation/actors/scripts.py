@@ -1,0 +1,178 @@
+"""Scripted money-movement primitives: peels, aggregations, splits, folds.
+
+These are the building blocks of §5's flow patterns.  The same grammar
+the paper uses for theft movements (A = aggregation, P = peeling chain,
+S = split, F = folding) is implemented here as composable operations on
+a wallet, so the Silk Road hoard dissolution and every Table 3 theft are
+scripted from one vocabulary — and the analysis side
+(:mod:`repro.analysis.thefts`) must recover that grammar from the chain
+alone.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..builder import CHANGE_FRESH, build_payment, build_sweep
+from ..wallet import Coin, Wallet
+
+RecipientChooser = Callable[[random.Random, int], tuple[str, str]]
+"""``(rng, remaining_value) -> (address, entity_label)``: picks the next
+peel recipient.  The label is only for scenario bookkeeping."""
+
+
+@dataclass
+class PeelRecord:
+    """One hop of an executed peeling chain (simulation-side truth)."""
+
+    hop: int
+    txid: bytes
+    peel_address: str
+    peel_value: int
+    recipient_label: str
+    change_address: str | None
+
+
+@dataclass
+class PeelChainRunner:
+    """Drives one peeling chain a few hops per block.
+
+    Starts from ``coin`` (a large value), and each hop peels off a small
+    fraction to a recipient chosen by ``choose_recipient``, sending the
+    remainder to a fresh one-time change address — the §5 idiom.
+    """
+
+    wallet: Wallet
+    coin: Coin
+    choose_recipient: RecipientChooser
+    n_hops: int
+    rng: random.Random
+    peel_fraction_min: float = 0.005
+    peel_fraction_max: float = 0.03
+    hops_per_block: int = 3
+    records: list[PeelRecord] = field(default_factory=list)
+
+    @property
+    def done(self) -> bool:
+        return len(self.records) >= self.n_hops or self.coin is None
+
+    def step(self, economy) -> None:
+        """Run up to ``hops_per_block`` hops."""
+        for _ in range(self.hops_per_block):
+            if self.done:
+                return
+            self._hop(economy)
+
+    def _hop(self, economy) -> None:
+        fee = economy.params.fee
+        remaining = self.coin.value
+        fraction = self.rng.uniform(self.peel_fraction_min, self.peel_fraction_max)
+        peel_value = max(int(remaining * fraction), fee * 4)
+        if peel_value + fee * 2 >= remaining:
+            # Chain exhausted: send what's left as the final peel.
+            peel_value = remaining - fee
+            address, label = self.choose_recipient(self.rng, peel_value)
+            built = build_sweep(
+                self.wallet, address, coins=[self.coin], fee=fee
+            )
+            tx = economy.submit(built, self.wallet)
+            self.records.append(
+                PeelRecord(
+                    hop=len(self.records) + 1,
+                    txid=tx.txid,
+                    peel_address=address,
+                    peel_value=peel_value,
+                    recipient_label=label,
+                    change_address=None,
+                )
+            )
+            self.coin = None
+            return
+        address, label = self.choose_recipient(self.rng, peel_value)
+        built = build_payment(
+            self.wallet,
+            [(address, peel_value)],
+            fee=fee,
+            change_kind=CHANGE_FRESH,
+            rng=self.rng,
+            coins=[self.coin],
+        )
+        tx = economy.submit(built, self.wallet)
+        self.records.append(
+            PeelRecord(
+                hop=len(self.records) + 1,
+                txid=tx.txid,
+                peel_address=address,
+                peel_value=peel_value,
+                recipient_label=label,
+                change_address=built.change_address,
+            )
+        )
+        # The change output is the next link of the chain.
+        change_coin = self.wallet.coin_at(built.change_address)
+        if change_coin is None:  # pragma: no cover - defensive
+            raise RuntimeError("peel change did not land in the wallet")
+        self.coin = change_coin
+
+
+def aggregate(economy, wallet: Wallet, coins: list[Coin] | None = None) -> Coin:
+    """'A' move: sweep coins into one fresh address; returns the new coin."""
+    fee = economy.params.fee
+    coins = coins if coins is not None else wallet.coins()
+    destination = wallet.fresh_address(kind="aggregate")
+    built = build_sweep(wallet, destination, coins=coins, fee=fee)
+    economy.submit(built, wallet)
+    coin = wallet.coin_at(destination)
+    if coin is None:  # pragma: no cover - defensive
+        raise RuntimeError("aggregate output did not land in the wallet")
+    return coin
+
+
+def split(
+    economy, wallet: Wallet, coin: Coin, n_ways: int, rng: random.Random
+) -> list[Coin]:
+    """'S' move: split one coin into ``n_ways`` fresh addresses."""
+    if n_ways < 2:
+        raise ValueError("a split needs at least two outputs")
+    fee = economy.params.fee
+    budget = coin.value - fee
+    cuts = sorted(rng.uniform(0.2, 0.8) for _ in range(n_ways - 1))
+    shares = []
+    prev = 0.0
+    for cut in cuts + [1.0]:
+        shares.append(cut - prev)
+        prev = cut
+    addresses = [wallet.fresh_address(kind="split") for _ in range(n_ways)]
+    payments = []
+    assigned = 0
+    for address, share in zip(addresses[:-1], shares[:-1]):
+        value = max(1, int(budget * share))
+        payments.append((address, value))
+        assigned += value
+    payments.append((addresses[-1], budget - assigned))
+    built = build_payment(
+        wallet, payments, fee=fee, change_kind="none", rng=rng, coins=[coin]
+    )
+    economy.submit(built, wallet)
+    out = []
+    for address in addresses:
+        landed = wallet.coin_at(address)
+        if landed is None:  # pragma: no cover - defensive
+            raise RuntimeError("split output did not land in the wallet")
+        out.append(landed)
+    return out
+
+
+def fold(
+    economy,
+    wallet: Wallet,
+    tainted: list[Coin],
+    clean: list[Coin],
+) -> Coin:
+    """'F' move: aggregate tainted coins together with unrelated clean
+    coins, blurring the taint boundary (§5's 'folding')."""
+    if not tainted or not clean:
+        raise ValueError("folding needs both tainted and clean coins")
+    return aggregate(economy, wallet, coins=[*tainted, *clean])

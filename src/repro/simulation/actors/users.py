@@ -1,0 +1,240 @@
+"""Ordinary users: the organic traffic of the economy.
+
+Users buy coins at exchanges, shop at vendors (sometimes through a
+payment gateway), gamble at dice games and casinos, park funds with
+wallet services, and occasionally use a mixer.  Two behaviours matter
+for heuristic fidelity:
+
+* the **change-policy mix** (fresh / self / reuse) drives how often
+  Heuristic 2 can fire and how often it is genuinely wrong;
+* with small probability a user *hands out an old change address* as a
+  receiving address — the usage drift that produces true one-time-change
+  false positives, which the §4.2 temporal estimator is built to catch.
+"""
+
+from __future__ import annotations
+
+from ..builder import build_payment, choose_change_kind
+from ..params import CATEGORY_USERS, UserParams
+from ..wallet import InsufficientFundsError
+from .base import Actor
+from .exchange import Exchange, FixedRateExchange
+from .gambling import CasinoSite, DiceGame
+from .misc import InvestmentScheme
+from .mixer import Mixer
+from .vendor import Vendor
+from .wallet_service import WalletService
+
+
+class UserActor(Actor):
+    """One individual with a client-side wallet."""
+
+    def __init__(self, name: str, params: UserParams | None = None) -> None:
+        super().__init__(name, CATEGORY_USERS)
+        self.params = params or UserParams()
+        self._service_accounts: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # address hygiene (and the lack of it)
+    # ------------------------------------------------------------------
+
+    def payment_address(self) -> str:
+        """Where others pay this user.
+
+        Era-accurate mix: usually the wallet's standing receive address
+        (clients of the day displayed one), sometimes a fresh one, and
+        occasionally an *old change address* — the idiom drift behind
+        genuine Heuristic 2 false positives.
+        """
+        change_addresses = self.wallet.change_addresses
+        if (
+            change_addresses
+            and self.rng.random() < self.params.give_out_change_address_prob
+        ):
+            return self.rng.choice(change_addresses)
+        if self.rng.random() < self.params.reuse_receive_prob:
+            return self.wallet.reused_receive_address()
+        return self.wallet.fresh_address()
+
+    # ------------------------------------------------------------------
+    # behaviour
+    # ------------------------------------------------------------------
+
+    def step(self, height: int) -> None:
+        if self.rng.random() >= self.params.activity_rate:
+            return
+        if self.wallet.balance < self.params.min_payment * 4:
+            self._buy_coins()
+            return
+        weights = [
+            (self.params.gamble_weight, self._gamble),
+            (self.params.shop_weight, self._shop),
+            (self.params.deposit_weight, self._deposit),
+            (self.params.withdraw_weight, self._withdraw),
+            (self.params.mix_weight, self._mix),
+        ]
+        total = sum(w for w, _ in weights)
+        roll = self.rng.random() * total
+        acc = 0.0
+        for weight, action in weights:
+            acc += weight
+            if roll <= acc:
+                action()
+                return
+
+    def _random_amount(self) -> int:
+        return self.rng.randint(self.params.min_payment, self.params.max_payment)
+
+    def _pay(self, address: str, amount: int, *, pin_coin=None) -> bool:
+        """Build+submit a payment; returns False when funds are short."""
+        fee = self.economy.params.fee
+        change_kind = choose_change_kind(self.params.change_policy, self.rng)
+        coins = [pin_coin] if pin_coin is not None else None
+        try:
+            built = build_payment(
+                self.wallet,
+                [(address, amount)],
+                fee=fee,
+                change_kind=change_kind,
+                rng=self.rng,
+                coins=coins,
+            )
+        except (InsufficientFundsError, ValueError):
+            return False
+        self.economy.submit(built, self.wallet)
+        return True
+
+    def _buy_coins(self) -> None:
+        exchanges = self.economy.actors_in_category("exchanges")
+        fixed = self.economy.actors_in_category("fixed")
+        sellers = exchanges + fixed
+        if not sellers:
+            return
+        seller = self.rng.choice(sellers)
+        amount = self._random_amount() * 4
+        destination = self.payment_address()
+        if isinstance(seller, Exchange):
+            seller.sell_coins(destination, amount)
+        elif isinstance(seller, FixedRateExchange):
+            seller.convert(destination, amount)
+
+    def _gamble(self) -> None:
+        sites = self.economy.actors_in_category("gambling")
+        if not sites:
+            return
+        site = self.rng.choice(sites)
+        amount = max(
+            self.params.min_payment, self._random_amount() // 4
+        )
+        if isinstance(site, DiceGame):
+            # Bet from one specific coin so the game can pay back to the
+            # spending address (the Satoshi Dice idiom).  Gamblers tend
+            # to bet straight from change coins (and to re-bet payouts),
+            # which is what gives freshly labeled change addresses later
+            # dice-only inputs — the §4.2 false-positive story.
+            fee = self.economy.params.fee
+            candidates = [
+                c for c in self.wallet.coins() if c.value >= amount + fee
+            ]
+            if not candidates:
+                return
+            change_set = set(self.wallet.change_addresses)
+            n_bets = self.rng.randint(1, 3)
+            for _ in range(n_bets):
+                candidates = [
+                    c for c in self.wallet.coins() if c.value >= amount + fee
+                ]
+                if not candidates:
+                    return
+                preferred = [c for c in candidates if c.address in change_set]
+                coin = self.rng.choice(preferred or candidates)
+                if self._pay(site.bet_address(), amount, pin_coin=coin):
+                    site.place_bet(coin.address, amount)
+        elif isinstance(site, CasinoSite):
+            account = self._service_accounts.get(site.name, 0)
+            if account and self.rng.random() < 0.5:
+                cashout = self.rng.randint(1, account)
+                site.request_withdrawal(self.payment_address(), cashout)
+                self._service_accounts[site.name] = account - cashout
+            elif self._pay(site.deposit_address(), amount):
+                self._service_accounts[site.name] = account + amount
+
+    def _shop(self) -> None:
+        vendors = [
+            v
+            for v in self.economy.actors_in_category("vendors")
+            if isinstance(v, Vendor)
+        ]
+        if not vendors:
+            return
+        vendor = self.rng.choice(vendors)
+        amount = self._random_amount()
+        self._pay(vendor.sale_address(amount), amount)
+
+    def _deposit(self) -> None:
+        services = [
+            s
+            for s in (
+                self.economy.actors_in_category("wallets")
+                + self.economy.actors_in_category("exchanges")
+                + self.economy.actors_in_category("investment")
+            )
+            if isinstance(s, (WalletService, Exchange, InvestmentScheme))
+        ]
+        if not services:
+            return
+        service = self.rng.choice(services)
+        amount = self._random_amount()
+        if self._pay(service.deposit_address(), amount):
+            self._service_accounts[service.name] = (
+                self._service_accounts.get(service.name, 0) + amount
+            )
+            if isinstance(service, InvestmentScheme):
+                service.record_investment(self.name, amount)
+
+    def _withdraw(self) -> None:
+        held = [
+            (name, balance)
+            for name, balance in self._service_accounts.items()
+            if balance > 0
+        ]
+        if not held:
+            return
+        name, balance = self.rng.choice(held)
+        service = self.economy.actor(name)
+        if not isinstance(service, (WalletService, Exchange, InvestmentScheme)):
+            return
+        amount = self.rng.randint(1, balance)
+        service.request_withdrawal(self.payment_address(), amount)
+        self._service_accounts[name] = balance - amount
+
+    def _mix(self) -> None:
+        mixers = [
+            m
+            for m in self.economy.actors_in_category("miscellaneous")
+            if isinstance(m, Mixer)
+        ]
+        if not mixers:
+            return
+        mixer = self.rng.choice(mixers)
+        amount = self._random_amount()
+        intake = mixer.intake_address()
+        fee = self.economy.params.fee
+        change_kind = choose_change_kind(self.params.change_policy, self.rng)
+        try:
+            built = build_payment(
+                self.wallet,
+                [(intake, amount)],
+                fee=fee,
+                change_kind=change_kind,
+                rng=self.rng,
+            )
+        except InsufficientFundsError:
+            return
+        tx = self.economy.submit(built, self.wallet)
+        paid_vout = next(
+            vout
+            for vout, out in enumerate(tx.outputs)
+            if out.address == intake
+        )
+        mixer.request_mix(tx.outpoint(paid_vout), amount, self.payment_address())

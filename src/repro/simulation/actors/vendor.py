@@ -1,0 +1,121 @@
+"""Vendors and payment gateways.
+
+Most vendors in the paper did not accept bitcoins themselves: they used
+the BitPay gateway (one used WalletBit).  On-chain, a purchase from such
+a vendor pays an address controlled by the *gateway*, which later settles
+with the vendor — so clustering attributes the sale addresses to BitPay,
+exactly what the authors found.  Direct vendors (notably Silk Road)
+operate their own deposit addresses.
+"""
+
+from __future__ import annotations
+
+from ..builder import CHANGE_FRESH, CHANGE_SELF, build_payment, build_sweep
+from ..params import CATEGORY_VENDORS
+from .base import Actor
+
+
+class PaymentGateway(Actor):
+    """BitPay-style processor: collects payments, settles to merchants."""
+
+    def __init__(self, name: str, *, settle_interval: int = 40) -> None:
+        super().__init__(name, CATEGORY_VENDORS)
+        self.settle_interval = settle_interval
+        self._owed: dict[str, int] = {}
+        self._merchants: dict[str, Actor] = {}
+
+    def invoice_address(self, merchant: "Vendor", amount: int) -> str:
+        """Create a payment address for one sale on behalf of a merchant."""
+        self._merchants[merchant.name] = merchant
+        self._owed[merchant.name] = self._owed.get(merchant.name, 0) + amount
+        return self.wallet.fresh_address()
+
+    def step(self, height: int) -> None:
+        if height == 0 or height % self.settle_interval != 0 or not self._owed:
+            return
+        fee = self.economy.params.fee
+        payments = []
+        for merchant_name, owed in sorted(self._owed.items()):
+            settle = min(owed, self.wallet.balance // max(1, len(self._owed)))
+            if settle > fee:
+                merchant = self._merchants[merchant_name]
+                payments.append((merchant.settlement_address(), settle - fee))
+        if not payments:
+            return
+        total = sum(v for _, v in payments) + fee
+        if self.wallet.balance < total:
+            return
+        built = build_payment(
+            self.wallet, payments, fee=fee, change_kind=CHANGE_FRESH, rng=self.rng
+        )
+        self.economy.submit(built, self.wallet)
+        self._owed.clear()
+
+
+class Vendor(Actor):
+    """An online merchant selling goods for bitcoin."""
+
+    def __init__(self, name: str, *, gateway: PaymentGateway | None = None) -> None:
+        super().__init__(name, CATEGORY_VENDORS)
+        self.gateway = gateway
+        self._hot_address: str | None = None
+
+    def sale_address(self, amount: int) -> str:
+        """Where a customer should send payment for a purchase.
+
+        Routed through the gateway when one is configured (the address is
+        then *owned by the gateway*, the detail §3.1 notes for BitPay
+        merchants).
+        """
+        if self.gateway is not None:
+            return self.gateway.invoice_address(self, amount)
+        return self.wallet.fresh_address()
+
+    def payment_address(self) -> str:
+        return self.sale_address(0)
+
+    def settlement_address(self) -> str:
+        """Where gateway settlements land (vendor-owned)."""
+        return self.wallet.fresh_address(kind="settlement")
+
+    def step(self, height: int) -> None:
+        # Vendors periodically sweep takings into one persistent hot
+        # address, chaining sweeps into a single co-spend cluster.
+        if height % 50 != 0 or self.wallet.coin_count < 5:
+            return
+        fee = self.economy.params.fee
+        if self._hot_address is None:
+            self._hot_address = self.wallet.fresh_address(kind="hot")
+        all_coins = self.wallet.coins()
+        hot_coins = [c for c in all_coins if c.address == self._hot_address]
+        pending = [c for c in all_coins if c.address != self._hot_address]
+        coins = pending[:64] + hot_coins
+        if len(coins) < 2 or sum(c.value for c in coins) <= fee:
+            return
+        built = build_sweep(self.wallet, self._hot_address, coins=coins, fee=fee)
+        self.economy.submit(built, self.wallet)
+        self._cash_out()
+
+    def _cash_out(self) -> None:
+        """Sell most of the takings at an exchange (vendors run costs in
+        fiat; their bitcoin balances do not grow without bound)."""
+        fee = self.economy.params.fee
+        hot_coin = self.wallet.coin_at(self._hot_address)
+        if hot_coin is None:
+            return
+        amount = int(hot_coin.value * 0.6)
+        if amount <= fee * 4:
+            return
+        exchanges = self.economy.actors_in_category("exchanges")
+        if not exchanges:
+            return
+        exchange = self.rng.choice(exchanges)
+        built = build_payment(
+            self.wallet,
+            [(exchange.deposit_address(), amount)],
+            fee=fee,
+            change_kind=CHANGE_SELF,
+            rng=self.rng,
+            coins=[hot_coin],
+        )
+        self.economy.submit(built, self.wallet)

@@ -1,0 +1,308 @@
+"""Parameters and service rosters for the synthetic economy.
+
+The rosters transcribe Table 1 of the paper verbatim: the 70-odd
+services (mining pools, wallets, bank and non-bank exchanges, vendors,
+gambling sites, and miscellaneous services) the authors transacted with
+during the re-identification attack.  The default economy instantiates an
+actor for each, so the Table 1 bench reports against the real roster.
+
+All knobs that the heuristics are sensitive to — change-address policy
+mix, gambling send-back behaviour, payout fan-out — are explicit here so
+the ablation benches can sweep them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..chain.model import COIN
+
+# ----------------------------------------------------------------------
+# Table 1 service rosters (verbatim from the paper)
+# ----------------------------------------------------------------------
+
+MINING_POOLS = (
+    "50 BTC",
+    "ABC Pool",
+    "Bitclockers",
+    "Bitminter",
+    "BTC Guild",
+    "Deepbit",
+    "EclipseMC",
+    "Eligius",
+    "Itzod",
+    "Ozcoin",
+    "Slush",
+)
+
+WALLET_SERVICES = (
+    "Bitcoin Faucet",
+    "My Wallet",
+    "Coinbase",
+    "Easycoin",
+    "Easywallet",
+    "Flexcoin",
+    "Instawallet",
+    "Paytunia",
+    "Strongcoin",
+    "WalletBit",
+)
+
+BANK_EXCHANGES = (
+    "Bitcoin 24",
+    "Bitcoin Central",
+    "Bitcoin.de",
+    "Bitcurex",
+    "Bitfloor",
+    "Bitmarket",
+    "Bitme",
+    "Bitstamp",
+    "BTC China",
+    "BTC-e",
+    "CampBX",
+    "CA VirtEx",
+    "ICBit",
+    "Mercado Bitcoin",
+    "Mt Gox",
+    "The Rock",
+    "Vircurex",
+    "Virwox",
+)
+
+FIXED_EXCHANGES = (
+    "Aurum Xchange",
+    "BitInstant",
+    "Bitcoin Nordic",
+    "BTC Quick",
+    "FastCash4Bitcoins",
+    "Lilion Transfer",
+    "Nanaimo Gold",
+    "OKPay",
+)
+
+VENDORS = (
+    "ABU Games",
+    "Bitbrew",
+    "Bitdomain",
+    "Bitmit",
+    "Bitpay",
+    "Bit Usenet",
+    "BTC Buy",
+    "BTC Gadgets",
+    "Casascius",
+    "Coinabul",
+    "CoinDL",
+    "Etsy",
+    "HealthRX",
+    "JJ Games",
+    "Medsforbitcoin",
+    "NZBs R Us",
+    "Silk Road",
+    "Yoku",
+)
+
+GAMBLING_SITES = (
+    "Bit Elfin",
+    "Bitcoin 24/7",
+    "Bitcoin Darts",
+    "Bitcoin Kamikaze",
+    "Bitcoin Minefield",
+    "BitZino",
+    "BTC Griffin",
+    "BTC Lucky",
+    "BTC on Tilt",
+    "Clone Dice",
+    "Gold Game Land",
+    "Satoshi Dice",
+    "Seals with Clubs",
+)
+
+MISC_SERVICES = (
+    "Bit Visitor",
+    "Bitcoin Advertisers",
+    "Bitcoin Laundry",
+    "Bitfog",
+    "Bitlaundry",
+    "BitMix",
+    "CoinAd",
+    "Coinapult",
+    "Wikileaks",
+)
+
+INVESTMENT_SCHEMES = (
+    "Bitcoinica",
+    "Bitcoin Savings & Trust",
+)
+
+MIX_SERVICES = ("Bitcoin Laundry", "Bitfog", "Bitlaundry", "BitMix")
+"""The four mix/laundry services among the miscellaneous roster (§3.1)."""
+
+# Dice-style games pay winnings straight back to the betting address —
+# the idiom behind the §4.2 Satoshi Dice false-positive exception.
+DICE_GAMES = (
+    "Satoshi Dice",
+    "Clone Dice",
+    "Bitcoin Kamikaze",
+    "Bitcoin Minefield",
+)
+
+# Categories as used by Figure 2 (investment appears there too).
+CATEGORY_MINING = "mining"
+CATEGORY_WALLETS = "wallets"
+CATEGORY_EXCHANGES = "exchanges"
+CATEGORY_FIXED = "fixed"
+CATEGORY_VENDORS = "vendors"
+CATEGORY_GAMBLING = "gambling"
+CATEGORY_MISC = "miscellaneous"
+CATEGORY_INVESTMENT = "investment"
+CATEGORY_USERS = "users"
+CATEGORY_CRIME = "crime"
+
+FIGURE2_CATEGORIES = (
+    CATEGORY_EXCHANGES,
+    CATEGORY_MINING,
+    CATEGORY_WALLETS,
+    CATEGORY_GAMBLING,
+    CATEGORY_VENDORS,
+    CATEGORY_FIXED,
+    CATEGORY_INVESTMENT,
+)
+
+GENESIS_TIMESTAMP = 1_293_840_000
+"""2011-01-01 00:00 UTC — the start of the window Figure 2 plots."""
+
+BLOCK_INTERVAL = 600
+"""Seconds between blocks (Bitcoin's 10-minute target)."""
+
+BLOCKS_PER_DAY = 144
+BLOCKS_PER_WEEK = 7 * BLOCKS_PER_DAY
+
+
+@dataclass(frozen=True)
+class ChangePolicy:
+    """How a wallet handles transaction change.
+
+    Probabilities must sum to at most 1; the remainder is "exact spend"
+    (no change output).  The defaults reflect the idioms the paper
+    measures: ~23% of transactions use self-change (§4.1), most of the
+    rest use a fresh one-time change address, and small minorities reuse
+    an existing receive address (``reuse``) or send change to the same
+    change address as the previous transaction (``recent`` — the "same
+    change address used twice" pattern behind the §4.2 super-cluster).
+    """
+
+    fresh: float = 0.70
+    self_change: float = 0.23
+    reuse: float = 0.015
+    recent: float = 0.025
+
+    def __post_init__(self) -> None:
+        total = self.fresh + self.self_change + self.reuse + self.recent
+        if not 0.0 <= total <= 1.0 + 1e-9:
+            raise ValueError(f"change policy probabilities sum to {total}")
+        if min(self.fresh, self.self_change, self.reuse, self.recent) < 0:
+            raise ValueError("change policy probabilities must be non-negative")
+
+
+@dataclass(frozen=True)
+class UserParams:
+    """Behaviour of an ordinary user actor."""
+
+    activity_rate: float = 0.08
+    """Per-block probability of doing something."""
+
+    gamble_weight: float = 0.25
+    shop_weight: float = 0.25
+    deposit_weight: float = 0.20
+    withdraw_weight: float = 0.20
+    mix_weight: float = 0.10
+
+    min_payment: int = int(0.05 * COIN)
+    max_payment: int = 5 * COIN
+    change_policy: ChangePolicy = field(default_factory=ChangePolicy)
+    give_out_change_address_prob: float = 0.008
+    """How often a user hands a previous change address to a payer —
+    the behaviour behind real Heuristic 2 false positives."""
+
+    reuse_receive_prob: float = 0.55
+    """How often a user hands out an *existing* receiving address
+    instead of a fresh one.  Era-accurate: 2012 clients displayed one
+    stable receiving address, and it is this reuse that makes H2's
+    'all other outputs previously seen' condition bite."""
+
+
+@dataclass(frozen=True)
+class PoolParams:
+    """Behaviour of a mining pool actor."""
+
+    payout_interval: int = 12
+    """Blocks between payout rounds."""
+
+    min_members_paid: int = 4
+    max_members_paid: int = 20
+    consolidate_prob: float = 0.2
+    """Probability a payout round first consolidates coinbases
+    (multi-input transaction — Heuristic 1 signal)."""
+
+
+@dataclass(frozen=True)
+class ExchangeParams:
+    """Behaviour of an exchange/bank actor."""
+
+    hot_wallet_addresses: int = 8
+    withdrawal_peel_min: int = 2
+    withdrawal_peel_max: int = 6
+    """Exchange withdrawals run short peeling chains (§5: 'seen in the
+    withdrawals for many banks and exchanges')."""
+
+    consolidation_interval: int = 25
+    """Blocks between sweeping deposit addresses into the hot wallet."""
+
+    consolidation_batch: int = 128
+    """Maximum deposit outputs swept per consolidation."""
+
+
+@dataclass(frozen=True)
+class GamblingParams:
+    """Behaviour of a gambling service actor."""
+
+    win_prob: float = 0.47
+    payout_multiplier: float = 2.0
+    send_back_to_bettor: bool = True
+    """Dice idiom: payout returns to the betting address itself."""
+
+
+@dataclass(frozen=True)
+class EconomyParams:
+    """Top-level knobs for a simulated world."""
+
+    seed: int = 0
+    n_blocks: int = 600
+    n_users: int = 60
+    block_interval: int = BLOCK_INTERVAL
+    genesis_timestamp: int = GENESIS_TIMESTAMP
+    halving_interval: int = 210_000
+    fee: int = 50_000
+    """Flat fee per transaction in satoshis (0.0005 BTC, the 2012 default)."""
+
+    user: UserParams = field(default_factory=UserParams)
+    pool: PoolParams = field(default_factory=PoolParams)
+    exchange: ExchangeParams = field(default_factory=ExchangeParams)
+    gambling: GamblingParams = field(default_factory=GamblingParams)
+
+    mining_pools: tuple[str, ...] = MINING_POOLS
+    wallet_services: tuple[str, ...] = WALLET_SERVICES
+    bank_exchanges: tuple[str, ...] = BANK_EXCHANGES
+    fixed_exchanges: tuple[str, ...] = FIXED_EXCHANGES
+    vendors: tuple[str, ...] = VENDORS
+    gambling_sites: tuple[str, ...] = GAMBLING_SITES
+    misc_services: tuple[str, ...] = MISC_SERVICES
+    investment_schemes: tuple[str, ...] = INVESTMENT_SCHEMES
+
+    def __post_init__(self) -> None:
+        if self.n_blocks < 1:
+            raise ValueError("n_blocks must be positive")
+        if self.n_users < 0:
+            raise ValueError("n_users must be non-negative")
+        if self.fee < 0:
+            raise ValueError("fee must be non-negative")

@@ -1,0 +1,175 @@
+"""Simulated wallets: key management, coin tracking, coin selection.
+
+A :class:`Wallet` is the client-side state of one economic entity.  It
+mints deterministic keypairs, tracks the UTXOs it controls, and selects
+coins for spending.  Change handling — the behaviour Heuristic 2 keys
+on — is decided per-transaction by the :class:`~repro.simulation.params.
+ChangePolicy` and implemented in :mod:`repro.simulation.builder`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..chain.crypto import KeyPair
+from ..chain.model import OutPoint
+
+
+class InsufficientFundsError(Exception):
+    """Raised when a wallet cannot cover a requested amount."""
+
+    def __init__(self, wanted: int, available: int) -> None:
+        super().__init__(f"wanted {wanted} satoshis, have {available}")
+        self.wanted = wanted
+        self.available = available
+
+
+@dataclass(frozen=True, slots=True)
+class Coin:
+    """One spendable output held by a wallet."""
+
+    outpoint: OutPoint
+    value: int
+    address: str
+
+
+class Wallet:
+    """Keys and coins for one entity.
+
+    Address creation is deterministic: the ``owner`` name and a counter
+    seed each keypair, so re-running a scenario reproduces the same
+    chain byte-for-byte.
+    """
+
+    def __init__(
+        self,
+        owner: str,
+        *,
+        rng: random.Random | None = None,
+        on_new_address=None,
+    ) -> None:
+        self.owner = owner
+        self._rng = rng or random.Random(0)
+        self._on_new_address = on_new_address
+        self._keys: dict[str, KeyPair] = {}
+        self._coins: dict[OutPoint, Coin] = {}
+        self._counter = 0
+        self._receive_addresses: list[str] = []
+        self._change_addresses: list[str] = []
+
+    # ------------------------------------------------------------------
+    # addresses
+    # ------------------------------------------------------------------
+
+    def fresh_address(self, *, kind: str = "receive") -> str:
+        """Mint a brand-new address (and notify the ownership registry).
+
+        ``kind`` is a label for debugging ("receive", "change", "hot",
+        ...); it does not affect key derivation beyond uniqueness.
+        """
+        self._counter += 1
+        keypair = KeyPair.from_seed(f"{self.owner}/{kind}/{self._counter}")
+        address = keypair.address
+        self._keys[address] = keypair
+        if kind == "receive":
+            self._receive_addresses.append(address)
+        elif kind == "change":
+            self._change_addresses.append(address)
+        if self._on_new_address is not None:
+            self._on_new_address(address, self.owner)
+        return address
+
+    @property
+    def change_addresses(self) -> list[str]:
+        """Addresses minted as change (clients normally hide these)."""
+        return list(self._change_addresses)
+
+    def last_change_address(self) -> str | None:
+        """The most recently minted change address (sloppy clients send
+        change there twice — the §4.2 'same change address used twice'
+        pattern)."""
+        if not self._change_addresses:
+            return None
+        return self._change_addresses[-1]
+
+    def reused_receive_address(self) -> str:
+        """An existing receive address (minting one if none exist yet)."""
+        if not self._receive_addresses:
+            return self.fresh_address()
+        return self._rng.choice(self._receive_addresses)
+
+    def key_for(self, address: str) -> KeyPair:
+        """The keypair controlling ``address`` (KeyError if foreign)."""
+        return self._keys[address]
+
+    def owns(self, address: str) -> bool:
+        """True when this wallet holds the key for ``address``."""
+        return address in self._keys
+
+    @property
+    def addresses(self) -> list[str]:
+        """Every address this wallet ever minted."""
+        return list(self._keys)
+
+    # ------------------------------------------------------------------
+    # coins
+    # ------------------------------------------------------------------
+
+    def credit(self, outpoint: OutPoint, value: int, address: str) -> None:
+        """Record receipt of an output paying one of our addresses."""
+        if address not in self._keys:
+            raise KeyError(f"{self.owner} does not control {address}")
+        if outpoint in self._coins:
+            raise ValueError(f"coin {outpoint} credited twice")
+        self._coins[outpoint] = Coin(outpoint, value, address)
+
+    def debit(self, outpoint: OutPoint) -> Coin:
+        """Remove (spend) a coin."""
+        try:
+            return self._coins.pop(outpoint)
+        except KeyError:
+            raise KeyError(f"{self.owner} holds no coin {outpoint}") from None
+
+    @property
+    def balance(self) -> int:
+        """Spendable satoshis."""
+        return sum(coin.value for coin in self._coins.values())
+
+    @property
+    def coin_count(self) -> int:
+        return len(self._coins)
+
+    def coins(self) -> list[Coin]:
+        """All coins, oldest-credited first (dict preserves order)."""
+        return list(self._coins.values())
+
+    def coin_at(self, address: str) -> Coin | None:
+        """Any one coin currently sitting at ``address``."""
+        for coin in self._coins.values():
+            if coin.address == address:
+                return coin
+        return None
+
+    def select_coins(self, amount: int, *, prefer_largest: bool = False) -> list[Coin]:
+        """Pick coins covering ``amount`` satoshis.
+
+        Default selection is oldest-first (greedy FIFO), the behaviour of
+        the era's Satoshi client; ``prefer_largest`` picks big coins
+        first, which services used for large withdrawals.  Raises
+        :class:`InsufficientFundsError` when the wallet cannot cover the
+        amount.
+        """
+        if amount <= 0:
+            raise ValueError(f"amount must be positive, got {amount}")
+        pool = self.coins()
+        if prefer_largest:
+            pool.sort(key=lambda c: c.value, reverse=True)
+        selected: list[Coin] = []
+        total = 0
+        for coin in pool:
+            selected.append(coin)
+            total += coin.value
+            if total >= amount:
+                return selected
+        raise InsufficientFundsError(amount, total)

@@ -1,0 +1,138 @@
+"""Cluster naming: propagating tags over a clustering (§4.2).
+
+Tagging by itself covers a sliver of the chain (the paper hand-tagged
+1,070 addresses via 344 transactions).  Clustering is the amplifier: one
+tag anywhere in a cluster names the whole cluster — "Heuristic 2 allowed
+us to name 1,600 times more addresses than our own manual observation
+provided".
+
+:class:`ClusterNaming` assigns each cluster the entity of its
+highest-confidence tags (majority-of-confidence within the cluster),
+records conflicts, and computes the paper's coverage numbers: named
+clusters, addresses covered, and the amplification factor.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from ..core.clustering import Clustering
+from .tags import TagStore
+
+
+@dataclass
+class NamedCluster:
+    """One cluster that received a name."""
+
+    root: object
+    name: str
+    size: int
+    tag_count: int
+    conflicting_entities: tuple[str, ...] = ()
+
+    @property
+    def has_conflict(self) -> bool:
+        return bool(self.conflicting_entities)
+
+
+@dataclass
+class NamingReport:
+    """The §4.2 coverage accounting."""
+
+    named_cluster_count: int
+    named_address_count: int
+    hand_tagged_address_count: int
+    conflict_count: int
+    clusters_per_entity: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def amplification(self) -> float:
+        """Named addresses per hand-tagged address (paper: ×1,600)."""
+        if not self.hand_tagged_address_count:
+            return 0.0
+        return self.named_address_count / self.hand_tagged_address_count
+
+
+class ClusterNaming:
+    """Tag propagation over one clustering."""
+
+    def __init__(self, clustering: Clustering, tags: TagStore) -> None:
+        self.clustering = clustering
+        self.tags = tags
+        self._named: dict[object, NamedCluster] = {}
+        self._build()
+
+    def _build(self) -> None:
+        weight_by_root: dict[object, dict[str, float]] = defaultdict(
+            lambda: defaultdict(float)
+        )
+        count_by_root: dict[object, int] = defaultdict(int)
+        for tag in self.tags.all_tags():
+            if tag.address not in self.clustering.uf:
+                continue
+            root = self.clustering.uf.find(tag.address)
+            weight_by_root[root][tag.entity] += tag.confidence
+            count_by_root[root] += 1
+        for root, weights in weight_by_root.items():
+            ranked = sorted(weights.items(), key=lambda kv: (-kv[1], kv[0]))
+            winner, _ = ranked[0]
+            conflicts = tuple(name for name, _ in ranked[1:])
+            self._named[root] = NamedCluster(
+                root=root,
+                name=winner,
+                size=self.clustering.uf.size_of(root),
+                tag_count=count_by_root[root],
+                conflicting_entities=conflicts,
+            )
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def name_of_cluster(self, root: object) -> str | None:
+        """The name assigned to a cluster root, if any."""
+        named = self._named.get(root)
+        return named.name if named else None
+
+    def name_of_address(self, address: str) -> str | None:
+        """The name of the cluster containing ``address`` (transitive
+        taint: one tag names every address in the cluster)."""
+        if address not in self.clustering.uf:
+            return None
+        return self.name_of_cluster(self.clustering.uf.find(address))
+
+    def named_clusters(self) -> list[NamedCluster]:
+        """All named clusters, largest first."""
+        return sorted(self._named.values(), key=lambda c: -c.size)
+
+    def clusters_named(self, entity: str) -> list[NamedCluster]:
+        """Clusters assigned to one entity (paper: 20 for Mt. Gox)."""
+        return [c for c in self._named.values() if c.name == entity]
+
+    def addresses_of(self, entity: str) -> set[str]:
+        """Every address in every cluster named ``entity``."""
+        roots = {c.root for c in self._named.values() if c.name == entity}
+        out: set[str] = set()
+        if not roots:
+            return out
+        for address in self.clustering.uf.iter_items():
+            if self.clustering.uf.find(address) in roots:
+                out.add(address)
+        return out
+
+    def report(self) -> NamingReport:
+        """Compute the coverage numbers."""
+        named_addresses = 0
+        per_entity: dict[str, int] = defaultdict(int)
+        for cluster in self._named.values():
+            named_addresses += cluster.size
+            per_entity[cluster.name] += 1
+        conflict_count = sum(1 for c in self._named.values() if c.has_conflict)
+        return NamingReport(
+            named_cluster_count=len(self._named),
+            named_address_count=named_addresses,
+            hand_tagged_address_count=self.tags.address_count,
+            conflict_count=conflict_count,
+            clusters_per_entity=dict(per_entity),
+        )

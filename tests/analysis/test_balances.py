@@ -1,0 +1,85 @@
+"""Figure 2 balance series computation."""
+
+import numpy as np
+
+from repro.analysis.balances import BalanceAnalyzer
+from repro.chain.model import COIN
+
+from tests.helpers import addr, build_chain, coinbase, spend
+
+
+def _world():
+    """50 BTC mined, 30 to the 'exchange', 20 stays with the miner.
+
+    The exchange spends a little later so its address is active (sink
+    addresses do not count toward category balances).
+    """
+    cb = coinbase(addr("solo-miner"))
+    pay = spend(
+        [(cb, 0)],
+        [(addr("exchange-hot"), 30 * COIN), (addr("miner-change"), 20 * COIN)],
+    )
+    churn = spend([(pay, 0)], [(addr("exchange-hot"), 30 * COIN)])
+    index = build_chain([[cb], [pay], [churn], []])
+    names = {addr("exchange-hot"): "Ex"}
+    categories = {"Ex": "exchanges"}
+    analyzer = BalanceAnalyzer(
+        index,
+        name_of_address=names.get,
+        category_of_entity=categories.get,
+        categories=("exchanges", "wallets"),
+    )
+    return index, analyzer
+
+
+class TestSeries:
+    def test_category_balance_tracks_flow(self):
+        _index, analyzer = _world()
+        series = analyzer.series(samples=4)
+        ex = series.by_category["exchanges"]
+        assert ex[0] == 0
+        assert ex[-1] == 30 * COIN
+
+    def test_empty_category_stays_zero(self):
+        _index, analyzer = _world()
+        series = analyzer.series(samples=4)
+        assert np.all(series.by_category["wallets"] == 0)
+
+    def test_supply_accumulates(self):
+        _index, analyzer = _world()
+        series = analyzer.series(samples=4)
+        # Four helper block coinbases plus the explicit minted coinbase.
+        assert series.supply[-1] == 5 * 50 * COIN
+
+    def test_active_excludes_sinks(self):
+        _index, analyzer = _world()
+        series = analyzer.series(samples=4)
+        # exchange-hot and miner-change never spend: they are sinks, as
+        # are the three later helper coinbases.
+        assert series.active[-1] < series.supply[-1]
+
+    def test_percentage_bounded(self):
+        _index, analyzer = _world()
+        series = analyzer.series(samples=4)
+        pct = series.percentage("exchanges")
+        assert np.all(pct >= 0)
+        assert series.peak("exchanges") <= 100.0 + 1e-9
+
+    def test_timestamps_aligned(self):
+        index, analyzer = _world()
+        series = analyzer.series(samples=4)
+        assert len(series.timestamps) == len(series.heights)
+        assert series.timestamps == [
+            index.timestamp_at(h) for h in series.heights
+        ]
+
+
+class TestOnSilkroadWorld:
+    def test_figure2_shape(self, silkroad_view):
+        series = silkroad_view.balance_series(samples=40)
+        # Exchanges are the dominant balance category of the era.
+        assert series.peak("exchanges") > 0
+        assert series.peak("gambling") >= 0
+        # Percentages are sane.
+        for category in series.by_category:
+            assert series.peak(category) <= 100.0

@@ -1,0 +1,69 @@
+"""Chokepoint centrality on synthetic graphs and simulated worlds."""
+
+import networkx as nx
+import pytest
+
+from repro.analysis.chokepoints import chokepoint_report, entity_exposure
+
+
+def _graph():
+    graph = nx.DiGraph()
+    graph.add_node("u1", name=None, size=5)
+    graph.add_node("u2", name=None, size=5)
+    graph.add_node("gox", name="Mt Gox", size=100)
+    graph.add_node("shop", name="Shop", size=10)
+    graph.add_edge("u1", "gox", value=100, tx_count=2)
+    graph.add_edge("u2", "shop", value=50, tx_count=1)
+    graph.add_edge("shop", "gox", value=40, tx_count=1)
+    graph.add_edge("gox", "u1", value=30, tx_count=1)
+    return graph
+
+
+class TestReport:
+    def test_flow_accounting(self):
+        report = chokepoint_report(_graph(), {"Mt Gox"})
+        # flow into named entities: 100 (u1->gox) + 50 (u2->shop) + 40.
+        assert report.total_named_flow == 190
+        assert report.flow_into_chokepoints == 140
+        assert report.flow_out_of_chokepoints == 30
+        assert report.direct_counterparties == 2
+        assert report.inflow_share == pytest.approx(140 / 190)
+
+    def test_reachability(self):
+        report = chokepoint_report(_graph(), {"Mt Gox"})
+        # u1, shop (1 hop), u2 (2 hops), gox itself: all 4 nodes.
+        assert report.reachable_within_3_hops == 1.0
+
+    def test_no_chokepoints(self):
+        report = chokepoint_report(_graph(), {"Nonexistent"})
+        assert report.flow_into_chokepoints == 0
+        assert report.inflow_share == 0.0
+
+    def test_empty_graph(self):
+        report = chokepoint_report(nx.DiGraph(), {"Mt Gox"})
+        assert report.total_named_flow == 0
+        assert report.reachable_within_3_hops == 0.0
+
+
+class TestExposure:
+    def test_exposure_fraction(self):
+        exposure = entity_exposure(_graph(), "Shop", {"Mt Gox"})
+        assert exposure == 1.0  # all of Shop's outflow goes to Mt Gox
+
+    def test_zero_outflow(self):
+        graph = _graph()
+        graph.remove_edge("shop", "gox")
+        assert entity_exposure(graph, "Shop", {"Mt Gox"}) == 0.0
+
+
+class TestOnWorld:
+    def test_exchanges_are_chokepoints(self, default_view):
+        """§5's claim on the simulated economy: a large share of named
+        flow funnels through exchanges, and most clusters sit within a
+        few hops of one."""
+        graph = default_view.user_graph()
+        exchanges = default_view.entities_in_category("exchanges")
+        report = chokepoint_report(graph, exchanges)
+        assert report.inflow_share > 0.15
+        assert report.reachable_within_3_hops > 0.3
+        assert report.direct_counterparties > 20

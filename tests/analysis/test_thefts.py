@@ -1,0 +1,126 @@
+"""Theft movement classification on synthetic flows."""
+
+from repro.analysis.thefts import TheftTracker
+from repro.chain.model import COIN
+
+from tests.helpers import addr, build_chain, coinbase, spend
+
+
+def _theft_base():
+    """A theft: victim's coins swept to two thief addresses."""
+    v1 = coinbase(addr("victim1"))
+    v2 = coinbase(addr("victim2"))
+    theft1 = spend([(v1, 0)], [(addr("loot1"), 50 * COIN)])
+    theft2 = spend([(v2, 0)], [(addr("loot2"), 50 * COIN)])
+    return v1, v2, theft1, theft2
+
+
+class TestClassification:
+    def test_aggregation_detected(self):
+        v1, v2, theft1, theft2 = _theft_base()
+        agg = spend(
+            [(theft1, 0), (theft2, 0)], [(addr("agg"), 100 * COIN)]
+        )
+        index = build_chain([[v1, v2], [theft1, theft2], [agg]])
+        analysis = TheftTracker(index).track([theft1.txid, theft2.txid])
+        assert analysis.movement == "A"
+        assert analysis.dormant_value == 100 * COIN
+
+    def test_folding_detected(self):
+        v1, v2, theft1, theft2 = _theft_base()
+        clean = coinbase(addr("thief-clean"))
+        fold = spend(
+            [(theft1, 0), (theft2, 0), (clean, 0)],
+            [(addr("folded"), 150 * COIN)],
+        )
+        index = build_chain([[v1, v2, clean], [theft1, theft2], [fold]])
+        analysis = TheftTracker(index).track([theft1.txid, theft2.txid])
+        assert analysis.movement == "F"
+
+    def test_split_detected(self):
+        v1, v2, theft1, theft2 = _theft_base()
+        split = spend(
+            [(theft1, 0)],
+            [(addr("s1"), 30 * COIN), (addr("s2"), 20 * COIN)],
+        )
+        index = build_chain([[v1, v2], [theft1, theft2], [split]])
+        analysis = TheftTracker(index).track([theft1.txid])
+        assert analysis.movement == "S"
+
+    def test_peel_chain_detected(self):
+        v1, v2, theft1, _theft2 = _theft_base()
+        blocks = [[v1, v2], [theft1]]
+        current, vout, remaining = theft1, 0, 50 * COIN
+        for hop in range(4):
+            remaining -= COIN
+            tx = spend(
+                [(current, vout)],
+                [(addr(f"t-peel{hop}"), COIN), (addr(f"t-link{hop}"), remaining)],
+            )
+            blocks.append([tx])
+            current, vout = tx, 1
+        index = build_chain(blocks)
+        analysis = TheftTracker(index).track([theft1.txid])
+        assert analysis.movement == "P"
+
+    def test_aggregate_then_peel(self):
+        v1, v2, theft1, theft2 = _theft_base()
+        agg = spend([(theft1, 0), (theft2, 0)], [(addr("ap"), 100 * COIN)])
+        blocks = [[v1, v2], [theft1, theft2], [agg]]
+        current, vout, remaining = agg, 0, 100 * COIN
+        for hop in range(3):
+            remaining -= 2 * COIN
+            tx = spend(
+                [(current, vout)],
+                [
+                    (addr(f"ap-peel{hop}"), 2 * COIN),
+                    (addr(f"ap-link{hop}"), remaining),
+                ],
+            )
+            blocks.append([tx])
+            current, vout = tx, 1
+        index = build_chain(blocks)
+        analysis = TheftTracker(index).track([theft1.txid, theft2.txid])
+        assert analysis.movement == "A/P"
+
+    def test_exchange_hit_recorded(self):
+        v1, v2, theft1, _theft2 = _theft_base()
+        peel = spend(
+            [(theft1, 0)],
+            [(addr("gox-deposit"), 2 * COIN), (addr("t-change"), 48 * COIN)],
+        )
+        peel2 = spend(
+            [(peel, 1)],
+            [(addr("other"), 2 * COIN), (addr("t-change2"), 46 * COIN)],
+        )
+        index = build_chain([[v1, v2], [theft1], [peel], [peel2]])
+        names = {addr("gox-deposit"): "Mt Gox"}
+        tracker = TheftTracker(index, name_of_address=names.get)
+        analysis = tracker.track([theft1.txid])
+        assert analysis.reached({"Mt Gox"})
+        assert analysis.value_to({"Mt Gox"}) == 2 * COIN
+        assert not analysis.reached({"Bitstamp"})
+
+    def test_terminal_sweep_to_named_entity_stops(self):
+        v1, v2, theft1, _theft2 = _theft_base()
+        cashout = spend([(theft1, 0)], [(addr("gox2"), 50 * COIN)])
+        index = build_chain([[v1, v2], [theft1], [cashout]])
+        names = {addr("gox2"): "Mt Gox"}
+        analysis = TheftTracker(index, name_of_address=names.get).track(
+            [theft1.txid]
+        )
+        assert analysis.reached({"Mt Gox"})
+        assert analysis.dormant_value == 0
+
+
+class TestOnTheftWorld:
+    """End-to-end Table 3 is exercised by the bench; here we keep a
+    lighter smoke check on the micro world's tracker plumbing."""
+
+    def test_tracker_requires_known_txids(self, micro_world):
+        import pytest
+        from repro.chain.errors import UnknownTransactionError
+
+        tracker = TheftTracker(micro_world.index)
+        with pytest.raises(UnknownTransactionError):
+            tracker.track([b"\x00" * 32])

@@ -1,0 +1,80 @@
+"""Condensed user graph construction."""
+
+from repro.analysis.user_graph import (
+    build_user_graph,
+    flows_between,
+    graph_stats,
+    top_counterparties,
+)
+from repro.chain.model import COIN
+from repro.core.clustering import ClusteringEngine
+
+from tests.helpers import addr, build_chain, coinbase, spend
+
+
+def _graph():
+    cb1 = coinbase(addr("u/a"))
+    cb2 = coinbase(addr("u/b"))
+    joint = spend(
+        [(cb1, 0), (cb2, 0)],
+        [(addr("shop"), 70 * COIN), (addr("u/extra"), 30 * COIN)],
+    )
+    onward = spend([(joint, 0)], [(addr("shop2"), 70 * COIN)])
+    index = build_chain([[cb1, cb2], [joint], [onward]])
+    clustering = ClusteringEngine(index).cluster_h1_only()
+    names = {}
+    user_root = clustering.uf.find(addr("u/a"))
+    shop_root = clustering.uf.find(addr("shop"))
+    names[user_root] = "User"
+    names[shop_root] = "Shop"
+    graph = build_user_graph(index, clustering, name_of_cluster=names.get)
+    return graph, clustering
+
+
+class TestGraph:
+    def test_edges_aggregate_value(self):
+        graph, clustering = _graph()
+        user_root = clustering.uf.find(addr("u/a"))
+        shop_root = clustering.uf.find(addr("shop"))
+        assert graph.has_edge(user_root, shop_root)
+        assert graph.edges[user_root, shop_root]["value"] == 70 * COIN
+
+    def test_no_self_edges(self):
+        graph, _clustering = _graph()
+        assert all(u != v for u, v in graph.edges())
+
+    def test_stats(self):
+        graph, _clustering = _graph()
+        stats = graph_stats(graph)
+        assert stats.nodes == graph.number_of_nodes()
+        assert stats.named_nodes == 2
+        assert stats.total_flow > 0
+
+    def test_flows_between_named(self):
+        graph, _clustering = _graph()
+        flows = flows_between(graph, "User", "Shop")
+        assert len(flows) == 1
+        assert flows[0][2] == 70 * COIN
+        assert flows_between(graph, "Shop", "User") == []
+
+    def test_top_counterparties(self):
+        graph, _clustering = _graph()
+        top = top_counterparties(graph, "User", direction="out")
+        assert top
+        assert top[0][0] == "Shop"
+
+    def test_bad_direction_rejected(self):
+        graph, _clustering = _graph()
+        import pytest
+
+        with pytest.raises(ValueError):
+            top_counterparties(graph, "User", direction="sideways")
+
+
+class TestOnWorld:
+    def test_graph_covers_world(self, default_view):
+        graph = default_view.user_graph()
+        stats = graph_stats(graph)
+        assert stats.nodes > 100
+        assert stats.edges > 100
+        assert stats.named_nodes > 10

@@ -1,0 +1,169 @@
+"""ChainIndex ingestion, UTXO discipline, and temporal queries."""
+
+import pytest
+
+from repro.chain.errors import (
+    DoubleSpendError,
+    MissingInputError,
+    UnknownAddressError,
+    UnknownTransactionError,
+)
+from repro.chain.index import ChainIndex
+from repro.chain.model import COIN, OutPoint
+
+from tests.helpers import addr, build_chain, coinbase, spend
+
+
+class TestIngestion:
+    def test_basic_accounting(self):
+        index, txs = _indexed_payment()
+        assert index.tx_count == 4  # two coinbases + pay + sweep
+        assert index.height == 1
+        assert index.address_count >= 5
+        # Supply: two 50 BTC coinbases, minus the 1000 satoshi fee the
+        # sweep paid (it vanishes because the test coinbases don't claim
+        # fees).
+        assert index.utxo_value() == 100 * COIN - 1000
+
+    def test_out_of_order_blocks_rejected(self):
+        index = build_chain([[]])
+        from repro.chain.model import Block, GENESIS_PREV_HASH
+
+        block = Block.assemble(
+            height=5,
+            prev_hash=GENESIS_PREV_HASH,
+            timestamp=0,
+            transactions=[coinbase(addr("x"))],
+        )
+        with pytest.raises(MissingInputError):
+            index.add_block(block)
+
+
+def _indexed_payment():
+    """cb -> pay(a, b); b spends to c.  Returns (index, txs dict)."""
+    cb = coinbase(addr("miner-main"))
+    pay = spend([(cb, 0)], [(addr("a"), 30 * COIN), (addr("b"), 20 * COIN)])
+    sweep = spend([(pay, 1)], [(addr("c"), 20 * COIN - 1000)])
+    index = ChainIndex()
+    from repro.chain.model import Block, GENESIS_PREV_HASH
+
+    block0 = Block.assemble(
+        height=0, prev_hash=GENESIS_PREV_HASH, timestamp=100, transactions=[cb]
+    )
+    cb1 = coinbase(addr("miner-1"), height=1)
+    block1 = Block.assemble(
+        height=1, prev_hash=block0.hash, timestamp=700,
+        transactions=[cb1, pay, sweep],
+    )
+    index.add_block(block0)
+    index.add_block(block1)
+    return index, {"cb": cb, "pay": pay, "sweep": sweep}
+
+
+class TestQueries:
+    def test_tx_lookup(self):
+        index, txs = _indexed_payment()
+        assert index.tx(txs["pay"].txid) == txs["pay"]
+        with pytest.raises(UnknownTransactionError):
+            index.tx(b"\x00" * 32)
+
+    def test_location(self):
+        index, txs = _indexed_payment()
+        loc = index.location(txs["pay"].txid)
+        assert loc.height == 1
+        assert loc.timestamp == 700
+        assert loc.index_in_block == 1
+
+    def test_utxo_tracking(self):
+        index, txs = _indexed_payment()
+        assert index.is_unspent(OutPoint(txs["pay"].txid, 0))
+        assert not index.is_unspent(OutPoint(txs["pay"].txid, 1))
+        spender = index.spender_of(OutPoint(txs["pay"].txid, 1))
+        assert spender == (txs["sweep"].txid, 0)
+
+    def test_fee(self):
+        index, txs = _indexed_payment()
+        assert index.fee(txs["sweep"]) == 1000
+        assert index.fee(txs["cb"]) == 0
+
+    def test_input_addresses(self):
+        index, txs = _indexed_payment()
+        assert index.input_addresses(txs["sweep"]) == [addr("b")]
+        assert index.input_addresses(txs["cb"]) == []
+
+    def test_address_records(self):
+        index, _txs = _indexed_payment()
+        record_b = index.address(addr("b"))
+        assert record_b.total_received == 20 * COIN
+        assert record_b.total_spent == 20 * COIN
+        assert record_b.balance == 0
+        assert not record_b.is_sink
+        record_c = index.address(addr("c"))
+        assert record_c.is_sink
+        with pytest.raises(UnknownAddressError):
+            index.address(addr("nobody"))
+
+    def test_sink_addresses(self):
+        index, _txs = _indexed_payment()
+        sinks = set(index.sink_addresses())
+        assert addr("a") in sinks
+        assert addr("c") in sinks
+        assert addr("b") not in sinks
+
+    def test_appearances_before(self):
+        index, _txs = _indexed_payment()
+        assert index.appearances_before(addr("b"), 1) == 0
+        assert index.appearances_before(addr("b"), 2) == 1
+        assert index.appearances_before(addr("unseen"), 99) == 0
+
+    def test_first_seen(self):
+        index, _txs = _indexed_payment()
+        assert index.first_seen(addr("b")) == 1
+        assert index.first_seen(addr("nobody")) is None
+
+
+class TestViolations:
+    def test_double_spend_rejected(self):
+        cb = coinbase(addr("m2"))
+        pay1 = spend([(cb, 0)], [(addr("a"), COIN)])
+        pay2 = spend([(cb, 0)], [(addr("b"), COIN)])
+        with pytest.raises(DoubleSpendError):
+            _ingest(cb, pay1, pay2)
+
+    def test_missing_input_rejected(self):
+        cb = coinbase(addr("m3"))
+        orphan = spend([(coinbase(addr("ghost")), 0)], [(addr("a"), COIN)])
+        with pytest.raises(MissingInputError):
+            _ingest(cb, orphan)
+
+
+def _ingest(cb, *txs):
+    from repro.chain.model import Block, GENESIS_PREV_HASH
+
+    index = ChainIndex()
+    block0 = Block.assemble(
+        height=0, prev_hash=GENESIS_PREV_HASH, timestamp=0, transactions=[cb]
+    )
+    index.add_block(block0)
+    cb1 = coinbase(addr("m-next"), height=1)
+    block1 = Block.assemble(
+        height=1, prev_hash=block0.hash, timestamp=600,
+        transactions=[cb1, *txs],
+    )
+    index.add_block(block1)
+    return index
+
+
+class TestSelfChangeHistory:
+    def test_self_change_recorded(self):
+        cb = coinbase(addr("m4"))
+        # a pays itself (self-change) plus a payment.
+        first = spend([(cb, 0)], [(addr("self"), 10 * COIN)])
+        selfchange = spend(
+            [(first, 0)], [(addr("other"), COIN), (addr("self"), 9 * COIN)]
+        )
+        index = _ingest(cb, first, selfchange)
+        assert index.self_change_heights(addr("self")) == [1]
+        assert index.was_self_change_before(addr("self"), 2)
+        assert not index.was_self_change_before(addr("self"), 1)
+        assert not index.was_self_change_before(addr("other"), 5)

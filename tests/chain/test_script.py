@@ -1,0 +1,78 @@
+"""Unit tests for the script subset."""
+
+import pytest
+
+from repro.chain import crypto, script
+from repro.chain.errors import ScriptError
+
+
+class TestP2PKH:
+    def test_build_shape(self):
+        pkh = b"\x11" * 20
+        spk = script.p2pkh_script(pkh)
+        assert len(spk) == 25
+        assert spk[0] == script.OP_DUP
+        assert spk[-1] == script.OP_CHECKSIG
+        assert spk[3:23] == pkh
+
+    def test_classify(self):
+        spk = script.p2pkh_script(b"\x22" * 20)
+        assert script.classify(spk) == "p2pkh"
+
+    def test_extract_address_roundtrip(self):
+        address = crypto.KeyPair.from_seed("p2pkh").address
+        spk = script.p2pkh_script_for_address(address)
+        assert script.extract_address(spk) == address
+
+    def test_bad_hash_length_rejected(self):
+        with pytest.raises(ScriptError):
+            script.p2pkh_script(b"\x00" * 19)
+
+
+class TestP2PK:
+    def test_classify_and_extract(self):
+        keypair = crypto.KeyPair.from_seed("p2pk")
+        spk = script.p2pk_script(keypair.pubkey)
+        assert script.classify(spk) == "p2pk"
+        assert script.extract_address(spk) == keypair.address
+
+
+class TestOther:
+    def test_op_return_classified(self):
+        assert script.classify(bytes([script.OP_RETURN]) + b"data") == "op_return"
+
+    def test_garbage_is_nonstandard(self):
+        assert script.classify(b"\xff\xfe\xfd") == "nonstandard"
+        assert script.extract_address(b"\xff\xfe\xfd") is None
+
+    def test_push_data_limits(self):
+        with pytest.raises(ScriptError):
+            script.push_data(b"")
+        with pytest.raises(ScriptError):
+            script.push_data(b"\x00" * 76)
+
+
+class TestSigScript:
+    def test_roundtrip(self):
+        keypair = crypto.KeyPair.from_seed("sig")
+        signature = keypair.sign(b"tx")
+        ss = script.sig_script(signature, keypair.pubkey)
+        got_sig, got_pub = script.parse_sig_script(ss)
+        assert got_sig == signature
+        assert got_pub == keypair.pubkey
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ScriptError):
+            script.parse_sig_script(b"")
+        with pytest.raises(ScriptError):
+            script.parse_sig_script(b"\x05ab")  # truncated push
+
+
+class TestCoinbaseScript:
+    def test_embeds_height(self):
+        ss = script.coinbase_script(12345, extra=b"pool")
+        assert (12345).to_bytes(4, "little") in ss
+
+    def test_negative_height_rejected(self):
+        with pytest.raises(ScriptError):
+            script.coinbase_script(-1)

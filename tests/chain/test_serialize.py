@@ -1,0 +1,133 @@
+"""Wire-format round-trips and defensive decoding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.chain import serialize
+from repro.chain.errors import SerializationError, TruncatedDataError
+from repro.chain.model import Block, GENESIS_PREV_HASH, OutPoint, Transaction, TxIn, TxOut
+from repro.chain.serialize import (
+    ByteReader,
+    block_from_bytes,
+    decode_varint,
+    encode_varint,
+    serialize_block,
+    serialize_tx,
+    tx_from_bytes,
+)
+
+from tests.helpers import addr, coinbase, spend
+
+
+class TestVarint:
+    @pytest.mark.parametrize(
+        "value,encoded",
+        [
+            (0, b"\x00"),
+            (0xFC, b"\xfc"),
+            (0xFD, b"\xfd\xfd\x00"),
+            (0xFFFF, b"\xfd\xff\xff"),
+            (0x10000, b"\xfe\x00\x00\x01\x00"),
+            (0x100000000, b"\xff\x00\x00\x00\x00\x01\x00\x00\x00"),
+        ],
+    )
+    def test_known_encodings(self, value, encoded):
+        assert encode_varint(value) == encoded
+        assert decode_varint(ByteReader(encoded)) == value
+
+    def test_negative_rejected(self):
+        with pytest.raises(SerializationError):
+            encode_varint(-1)
+
+    def test_non_canonical_rejected(self):
+        # 5 encoded with the 0xfd form is non-canonical.
+        with pytest.raises(SerializationError):
+            decode_varint(ByteReader(b"\xfd\x05\x00"))
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_roundtrip_property(self, value):
+        assert decode_varint(ByteReader(encode_varint(value))) == value
+
+
+class TestByteReader:
+    def test_truncation_error(self):
+        reader = ByteReader(b"\x01\x02")
+        with pytest.raises(TruncatedDataError):
+            reader.read(3)
+
+    def test_sequential_reads(self):
+        reader = ByteReader(b"\x01\x02\x03")
+        assert reader.read_u8() == 1
+        assert reader.read(2) == b"\x02\x03"
+        assert reader.remaining == 0
+
+
+class TestTransactionRoundtrip:
+    def test_coinbase_roundtrip(self):
+        tx = coinbase(addr("m"))
+        again = tx_from_bytes(serialize_tx(tx))
+        assert again == tx
+        assert again.txid == tx.txid
+
+    def test_multi_io_roundtrip(self):
+        cb1, cb2 = coinbase(addr("a")), coinbase(addr("b"))
+        tx = spend(
+            [(cb1, 0), (cb2, 0)],
+            [(addr("x"), 123), (addr("y"), 456), (addr("z"), 789)],
+        )
+        assert tx_from_bytes(serialize_tx(tx)) == tx
+
+    def test_trailing_bytes_rejected(self):
+        raw = serialize_tx(coinbase(addr("m"))) + b"\x00"
+        with pytest.raises(SerializationError):
+            tx_from_bytes(raw)
+
+    def test_truncated_rejected(self):
+        raw = serialize_tx(coinbase(addr("m")))
+        with pytest.raises(TruncatedDataError):
+            tx_from_bytes(raw[:-2])
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 2**40), st.integers(0, 50)), min_size=1, max_size=5
+        ),
+        st.integers(0, 2**31 - 1),
+    )
+    def test_roundtrip_property(self, outputs, lock_time):
+        tx = Transaction(
+            inputs=(
+                TxIn(prevout=OutPoint(b"\x42" * 32, 7), script_sig=b"\x01\x02"),
+            ),
+            outputs=tuple(
+                TxOut(value=v, script_pubkey=b"\x51" * (n % 20 + 1))
+                for v, n in outputs
+            ),
+            lock_time=lock_time,
+        )
+        assert tx_from_bytes(serialize_tx(tx)) == tx
+
+
+class TestBlockRoundtrip:
+    def _block(self):
+        cb = coinbase(addr("m"))
+        child = spend([(cb, 0)], [(addr("x"), 1000)])
+        return Block.assemble(
+            height=0,
+            prev_hash=GENESIS_PREV_HASH,
+            timestamp=1_300_000_000,
+            transactions=[cb, child],
+        )
+
+    def test_roundtrip_preserves_hash(self):
+        block = self._block()
+        again = block_from_bytes(serialize_block(block), height=0)
+        assert again.hash == block.hash
+        assert len(again.transactions) == 2
+
+    def test_header_is_80_bytes(self):
+        assert len(serialize.serialize_header(self._block().header)) == 80
+
+    def test_trailing_bytes_rejected(self):
+        raw = serialize_block(self._block()) + b"junk"
+        with pytest.raises(SerializationError):
+            block_from_bytes(raw, height=0)

@@ -1,0 +1,80 @@
+"""Chain statistics: synthetic counts + idiom validation on worlds."""
+
+from repro.chain.model import COIN
+from repro.chain.stats import compute_statistics, format_statistics
+
+from tests.helpers import addr, build_chain, coinbase, spend
+
+
+def _chain():
+    cb1 = coinbase(addr("st1"))
+    cb2 = coinbase(addr("st2"))
+    # multi-input, two outputs, self-change (st1 appears in outputs).
+    selfchange = spend(
+        [(cb1, 0), (cb2, 0)],
+        [(addr("other"), 60 * COIN), (addr("st1"), 40 * COIN)],
+    )
+    # single input, single output.
+    sweep = spend([(selfchange, 1)], [(addr("dest"), 40 * COIN)])
+    return build_chain([[cb1, cb2], [selfchange], [sweep]])
+
+
+class TestCounts:
+    def test_transaction_shape_counts(self):
+        stats = compute_statistics(_chain())
+        # 3 helper coinbases + 2 explicit coinbases + 2 spends.
+        assert stats.transactions == 7
+        assert stats.coinbases == 5
+        assert stats.non_coinbase_txs == 2
+        assert stats.multi_input_txs == 1
+        assert stats.single_output_txs == 1
+        assert stats.two_output_txs == 1
+
+    def test_self_change_share(self):
+        stats = compute_statistics(_chain())
+        assert stats.self_change_txs == 1
+        assert stats.self_change_share == 0.5
+
+    def test_histograms(self):
+        stats = compute_statistics(_chain())
+        assert stats.input_count_histogram[2] == 1
+        assert stats.input_count_histogram[1] == 1
+        assert stats.output_count_histogram[1] >= 5  # coinbases + sweep
+        # st1 received twice (coinbase + self-change).
+        assert stats.address_use_histogram[2] == 1
+
+    def test_prefix_restriction(self):
+        stats = compute_statistics(_chain(), up_to_height=0)
+        assert stats.blocks == 1
+        assert stats.non_coinbase_txs == 0
+
+    def test_empty_chain_shares_are_zero(self):
+        stats = compute_statistics(build_chain([[]]), up_to_height=-1)
+        assert stats.self_change_share == 0.0
+        assert stats.multi_input_share == 0.0
+        assert stats.single_use_address_share == 0.0
+
+    def test_format(self):
+        out = format_statistics(compute_statistics(_chain()))
+        assert "self-change share" in out
+        assert "multi-input" in out
+
+
+class TestOnSimulatedWorld:
+    def test_self_change_share_tracks_policy(self, default_world):
+        """The configured ~23% self-change policy must be visible in the
+        chain — the simulator reproduces the idiom it claims to."""
+        stats = compute_statistics(default_world.index)
+        # Users self-change at 23%, but services mostly use fresh
+        # change, so the chain-wide share sits below that.
+        assert 0.02 < stats.self_change_share < 0.30
+
+    def test_mostly_single_use_addresses(self, default_world):
+        """Era idiom: most addresses appear once (fresh deposit/change
+        addresses dominate) — the precondition for Heuristic 2."""
+        stats = compute_statistics(default_world.index)
+        assert stats.single_use_address_share > 0.5
+
+    def test_h1_signal_present(self, default_world):
+        stats = compute_statistics(default_world.index)
+        assert stats.multi_input_share > 0.05

@@ -1,0 +1,99 @@
+"""Temporal false-positive estimation: synthetic cases + ladder shape."""
+
+from repro.chain.model import COIN
+from repro.core.fp_estimation import FalsePositiveEstimator
+from repro.core.heuristic2 import SECONDS_PER_DAY
+from repro.pipeline import AnalystView
+
+from tests.helpers import addr, build_chain, coinbase, spend
+
+
+def _fp_world():
+    """One good change label and one that is later invalidated.
+
+    tx_good's change is never reused.  tx_bad's "change" receives a
+    later payment (the temporal FP signature).
+    """
+    cb1 = coinbase(addr("u1"))
+    cb2 = coinbase(addr("u2"))
+    warm1 = coinbase(addr("wa"))
+    warm1b = coinbase(addr("wab"))
+    warm2 = coinbase(addr("wb"))
+    warm2b = coinbase(addr("wbb"))
+    seed1 = spend([(warm1, 0)], [(addr("shop1"), 50 * COIN)])
+    seed1b = spend([(warm1b, 0)], [(addr("shop1"), 50 * COIN)])
+    seed2 = spend([(warm2, 0)], [(addr("shop2"), 50 * COIN)])
+    seed2b = spend([(warm2b, 0)], [(addr("shop2"), 50 * COIN)])
+    tx_good = spend(
+        [(cb1, 0)], [(addr("shop1"), 30 * COIN), (addr("good-change"), 20 * COIN)]
+    )
+    tx_bad = spend(
+        [(cb2, 0)], [(addr("shop2"), 30 * COIN), (addr("bad-change"), 20 * COIN)]
+    )
+    late = coinbase(addr("late-payer"))
+    reuse = spend([(late, 0)], [(addr("bad-change"), 50 * COIN)])
+    index = build_chain(
+        [
+            [cb1, cb2, warm1, warm1b, warm2, warm2b, late],
+            [seed1, seed2],
+            [seed1b, seed2b],
+            [tx_good, tx_bad],
+            [reuse],
+        ]
+    )
+    return index
+
+
+class TestSyntheticEstimates:
+    def test_naive_counts_reuse_as_fp(self):
+        estimator = FalsePositiveEstimator(_fp_world())
+        estimate = estimator.estimate(name="naive")
+        assert estimate.labeled == 2
+        assert estimate.estimated_false_positives == 1
+        assert 0.49 < estimate.estimated_rate < 0.51
+
+    def test_wait_removes_quickly_reused_labels(self):
+        estimator = FalsePositiveEstimator(_fp_world())
+        estimate = estimator.estimate(
+            name="wait", wait_seconds=SECONDS_PER_DAY
+        )
+        # The bad candidate is reused within a day: never labeled.
+        assert estimate.labeled == 1
+        assert estimate.estimated_false_positives == 0
+
+    def test_dice_exception_excuses_dice_only_reuse(self):
+        index = _fp_world()
+        # Pretend the late payer is a dice game.
+        estimator = FalsePositiveEstimator(
+            index, dice_addresses=frozenset({addr("late-payer")})
+        )
+        naive = estimator.estimate(name="naive")
+        excused = estimator.estimate(name="dice", dice_exception=True)
+        assert naive.estimated_false_positives == 1
+        assert excused.estimated_false_positives == 0
+
+    def test_candidates_cached(self):
+        estimator = FalsePositiveEstimator(_fp_world())
+        assert estimator.candidates() is estimator.candidates()
+
+
+class TestLadderOnSimulatedWorld:
+    def test_ladder_shape(self, default_world):
+        view = AnalystView.build(default_world)
+        ladder = view.fp_estimator().refinement_ladder()
+        names = [e.name for e in ladder]
+        assert names == ["naive", "dice-exception", "wait-one-day", "wait-one-week"]
+        naive, dice, day, week = ladder
+        # The paper's monotone ladder: 13% → 1% → 0.28% → 0.17%.
+        assert naive.estimated_rate > dice.estimated_rate
+        assert dice.estimated_rate > day.estimated_rate
+        assert day.estimated_rate >= week.estimated_rate
+        # Waiting shrinks the labeled set, never grows it.
+        assert naive.labeled >= day.labeled >= week.labeled
+
+    def test_ground_truth_rates_present(self, default_world):
+        view = AnalystView.build(default_world)
+        ladder = view.fp_estimator().refinement_ladder()
+        for estimate in ladder:
+            assert estimate.true_rate is not None
+            assert 0.0 <= estimate.true_rate <= 1.0

@@ -1,0 +1,100 @@
+"""§6's open question, made quantitative: how does Heuristic 2 degrade
+as idioms of use change (or turn adversarial)?
+
+The paper: "our new clustering heuristic is not fully robust in the
+face of changing behavior ... to completely thwart our heuristics would
+require a significant effort on the part of the user."  Here we sweep
+wallet change policies and confirm the predicted directions.
+"""
+
+from dataclasses import replace
+
+from repro.core.clustering import ClusteringEngine
+from repro.metrics.evaluation import pairwise_scores
+from repro.simulation import scenarios
+from repro.simulation.params import ChangePolicy, EconomyParams, UserParams
+
+
+def _world_with_policy(policy: ChangePolicy, *, seed: int = 21):
+    params = EconomyParams(
+        seed=seed,
+        n_blocks=150,
+        n_users=12,
+        user=UserParams(change_policy=policy),
+        mining_pools=("Deepbit", "Slush"),
+        wallet_services=("Instawallet",),
+        bank_exchanges=("Mt Gox", "Bitstamp"),
+        fixed_exchanges=(),
+        vendors=("Silk Road",),
+        gambling_sites=("Satoshi Dice",),
+        misc_services=(),
+        investment_schemes=(),
+    )
+    return scenarios.default_economy(seed=seed, params=params, with_attack=False)
+
+
+def _h2_label_count(world) -> int:
+    clustering = ClusteringEngine(world.index).cluster()
+    return len(clustering.h2_result.labels)
+
+
+class TestIdiomDrift:
+    def test_all_self_change_starves_h2(self):
+        """If everyone self-changes, condition 3 kills every label."""
+        hygienic = _world_with_policy(
+            ChangePolicy(fresh=0.95, self_change=0.05, reuse=0.0, recent=0.0)
+        )
+        adversarial = _world_with_policy(
+            ChangePolicy(fresh=0.0, self_change=0.95, reuse=0.0, recent=0.0)
+        )
+        assert _h2_label_count(adversarial) < _h2_label_count(hygienic) * 0.5
+
+    def test_fresh_change_is_precise(self):
+        """The era's default client behaviour is H2's best case: with
+        everyone using fresh one-time change, the labels that do fire
+        are essentially never wrong."""
+        world = _world_with_policy(
+            ChangePolicy(fresh=1.0, self_change=0.0, reuse=0.0, recent=0.0)
+        )
+        clustering = ClusteringEngine(world.index).cluster()
+        gt = world.ground_truth
+        index = world.index
+        wrong = 0
+        for label in clustering.h2_result.labels:
+            inputs = index.input_addresses(index.tx(label.txid))
+            if inputs and gt.owner_of(label.address) != gt.owner_of(inputs[0]):
+                wrong += 1
+        assert wrong == 0
+
+    def test_sloppy_reuse_hurts_precision_not_just_coverage(self):
+        """Heavy change-address reuse creates *wrong* links, not merely
+        fewer links — the dangerous direction the paper worried about."""
+        clean = _world_with_policy(
+            ChangePolicy(fresh=0.95, self_change=0.05, reuse=0.0, recent=0.0),
+            seed=22,
+        )
+        sloppy = _world_with_policy(
+            ChangePolicy(fresh=0.55, self_change=0.05, reuse=0.2, recent=0.2),
+            seed=22,
+        )
+        clean_scores = pairwise_scores(
+            ClusteringEngine(clean.index).cluster(), clean.ground_truth
+        )
+        sloppy_scores = pairwise_scores(
+            ClusteringEngine(sloppy.index).cluster(), sloppy.ground_truth
+        )
+        assert sloppy_scores.precision <= clean_scores.precision
+
+    def test_heuristic1_unaffected_by_change_policy(self):
+        """H1 exploits a protocol property, not an idiom: its precision
+        is policy-independent (always 1.0 absent shared wallets)."""
+        for policy in (
+            ChangePolicy(fresh=1.0, self_change=0.0, reuse=0.0, recent=0.0),
+            ChangePolicy(fresh=0.0, self_change=1.0, reuse=0.0, recent=0.0),
+        ):
+            world = _world_with_policy(policy, seed=23)
+            scores = pairwise_scores(
+                ClusteringEngine(world.index).cluster_h1_only(),
+                world.ground_truth,
+            )
+            assert scores.precision == 1.0

@@ -1,0 +1,105 @@
+"""Union-find unit + property tests."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.union_find import UnionFind
+
+
+class TestBasics:
+    def test_singletons(self):
+        uf = UnionFind(["a", "b", "c"])
+        assert len(uf) == 3
+        assert uf.component_count == 3
+        assert not uf.connected("a", "b")
+
+    def test_union_merges(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        assert uf.connected("a", "b")
+        assert uf.component_count == 1
+        assert uf.size_of("a") == 2
+
+    def test_union_idempotent(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        uf.union("a", "b")
+        assert uf.component_count == 1
+        assert uf.size_of("b") == 2
+
+    def test_transitivity(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        uf.union("b", "c")
+        assert uf.connected("a", "c")
+        assert uf.size_of("c") == 3
+
+    def test_union_all(self):
+        uf = UnionFind()
+        root = uf.union_all(["w", "x", "y", "z"])
+        assert uf.size_of(root) == 4
+        assert uf.union_all([]) is None
+        assert uf.union_all(["solo"]) == uf.find("solo")
+
+    def test_find_adds_missing(self):
+        uf = UnionFind()
+        assert uf.find("new") == "new"
+        assert "new" in uf
+
+    def test_connected_with_unknown_items(self):
+        uf = UnionFind(["a"])
+        assert not uf.connected("a", "ghost")
+
+    def test_components(self):
+        uf = UnionFind(["a", "b", "c", "d"])
+        uf.union("a", "b")
+        components = uf.components()
+        sizes = sorted(len(m) for m in components.values())
+        assert sizes == [1, 1, 2]
+
+    def test_copy_is_independent(self):
+        uf = UnionFind(["a", "b"])
+        clone = uf.copy()
+        clone.union("a", "b")
+        assert not uf.connected("a", "b")
+        assert clone.connected("a", "b")
+
+
+class TestProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 30), st.integers(0, 30)), max_size=80
+        )
+    )
+    def test_invariants(self, unions):
+        uf = UnionFind(range(31))
+        for a, b in unions:
+            uf.union(a, b)
+        components = uf.components()
+        # Component count agrees with the incremental counter.
+        assert len(components) == uf.component_count
+        # Sizes sum to the universe and match size_of.
+        assert sum(len(m) for m in components.values()) == 31
+        for root, members in components.items():
+            for member in members:
+                assert uf.find(member) == root
+                assert uf.size_of(member) == len(members)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 20), st.integers(0, 20)), max_size=40
+        )
+    )
+    def test_equivalence_closure(self, unions):
+        """connected() is exactly the transitive closure of the unions."""
+        import networkx as nx
+
+        uf = UnionFind(range(21))
+        graph = nx.Graph()
+        graph.add_nodes_from(range(21))
+        for a, b in unions:
+            uf.union(a, b)
+            graph.add_edge(a, b)
+        for component in nx.connected_components(graph):
+            members = sorted(component)
+            for x in members[1:]:
+                assert uf.connected(members[0], x)

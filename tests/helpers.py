@@ -1,0 +1,96 @@
+"""Hand-crafted chain construction utilities for tests.
+
+Tests of the heuristics need precise control over transaction shape
+(which output is fresh, who self-changes, what arrives later), so these
+helpers build raw transactions and blocks directly, bypassing the
+economy.  Signatures are not validated by the index, which keeps the
+fixtures compact.
+"""
+
+from __future__ import annotations
+
+from repro.chain import script
+from repro.chain.crypto import KeyPair
+from repro.chain.index import ChainIndex
+from repro.chain.model import (
+    Block,
+    COIN,
+    COINBASE_TXID,
+    COINBASE_VOUT,
+    GENESIS_PREV_HASH,
+    OutPoint,
+    Transaction,
+    TxIn,
+    TxOut,
+)
+
+GENESIS_TIME = 1_293_840_000
+BLOCK_INTERVAL = 600
+
+
+def addr(label: str) -> str:
+    """A deterministic address for a test label."""
+    return KeyPair.from_seed(f"test/{label}").address
+
+
+def coinbase(address: str, value: int = 50 * COIN, *, height: int = 0) -> Transaction:
+    """A coinbase transaction paying one address."""
+    return Transaction(
+        inputs=(
+            TxIn(
+                prevout=OutPoint(COINBASE_TXID, COINBASE_VOUT),
+                script_sig=script.coinbase_script(height),
+            ),
+        ),
+        outputs=(
+            TxOut(value=value, script_pubkey=script.p2pkh_script_for_address(address)),
+        ),
+    )
+
+
+def spend(
+    sources: list[tuple[Transaction, int]],
+    outputs: list[tuple[str, int]],
+) -> Transaction:
+    """A transaction spending ``(tx, vout)`` sources into ``(addr, value)``
+    outputs.  Script sigs are dummies (the index does not verify)."""
+    return Transaction(
+        inputs=tuple(
+            TxIn(prevout=OutPoint(tx.txid, vout), script_sig=b"\x01\xaa\x01\xbb")
+            for tx, vout in sources
+        ),
+        outputs=tuple(
+            TxOut(
+                value=value,
+                script_pubkey=script.p2pkh_script_for_address(address),
+            )
+            for address, value in outputs
+        ),
+    )
+
+
+def build_chain(
+    tx_blocks: list[list[Transaction]],
+    *,
+    start_time: int = GENESIS_TIME,
+    block_interval: int = BLOCK_INTERVAL,
+    miner_label: str = "miner",
+) -> ChainIndex:
+    """Index a chain whose block ``i`` contains ``tx_blocks[i]``.
+
+    Each block automatically gets its own coinbase (to a per-height
+    miner address) so the structure is always valid.
+    """
+    index = ChainIndex()
+    prev = GENESIS_PREV_HASH
+    for height, txs in enumerate(tx_blocks):
+        cb = coinbase(addr(f"{miner_label}/{height}"), height=height)
+        block = Block.assemble(
+            height=height,
+            prev_hash=prev,
+            timestamp=start_time + height * block_interval,
+            transactions=[cb, *txs],
+        )
+        index.add_block(block)
+        prev = block.hash
+    return index

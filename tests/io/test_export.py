@@ -1,0 +1,94 @@
+"""CSV/JSON/GraphML exports."""
+
+import csv
+import json
+
+import networkx as nx
+
+from repro.io.export import (
+    export_clusters_csv,
+    export_naming_json,
+    export_peel_chain_json,
+    export_tags_csv,
+)
+from repro.io.graphml import export_user_graph_graphml
+from repro.tagging.tags import TagStore, make_tag
+
+
+class TestClusterExport:
+    def test_csv_roundtrip(self, default_view, tmp_path):
+        path = tmp_path / "clusters.csv"
+        rows = export_clusters_csv(default_view.clustering, path, min_size=2)
+        assert rows > 0
+        with open(path) as fh:
+            reader = csv.DictReader(fh)
+            first = next(reader)
+        assert set(first) == {"address", "cluster_id", "cluster_size", "name"}
+        assert int(first["cluster_size"]) >= 2
+
+    def test_named_clusters_carry_names(self, default_view, tmp_path):
+        path = tmp_path / "named.csv"
+        export_clusters_csv(
+            default_view.clustering,
+            path,
+            name_of_cluster=default_view.naming.name_of_cluster,
+            min_size=3,
+        )
+        with open(path) as fh:
+            names = {row["name"] for row in csv.DictReader(fh)}
+        assert any(name for name in names if name)
+
+
+class TestTagExport:
+    def test_tags_csv(self, tmp_path):
+        store = TagStore([make_tag("1a", "Mt Gox"), make_tag("1b", "BTC-e")])
+        path = tmp_path / "tags.csv"
+        rows = export_tags_csv(store, path)
+        assert rows == 2
+        with open(path) as fh:
+            entities = {row["entity"] for row in csv.DictReader(fh)}
+        assert entities == {"Mt Gox", "BTC-e"}
+
+
+class TestPeelChainExport:
+    def test_json_structure(self, silkroad_view, tmp_path):
+        hoard = silkroad_view.world.extras["hoard"]
+        tracker = silkroad_view.peeling_tracker()
+        chain = tracker.follow_address(
+            hoard.state.chain_start_addresses[0], max_hops=10
+        )
+        path = tmp_path / "chain.json"
+        export_peel_chain_json(
+            chain, path, name_of_address=silkroad_view.naming.name_of_address
+        )
+        doc = json.loads(path.read_text())
+        assert doc["hop_count"] == 10
+        assert len(doc["hops"]) == 10
+        assert all("txid" in hop for hop in doc["hops"])
+
+
+class TestNamingExport:
+    def test_naming_json(self, default_view, tmp_path):
+        path = tmp_path / "naming.json"
+        export_naming_json(default_view.naming, path)
+        doc = json.loads(path.read_text())
+        assert doc["named_cluster_count"] > 0
+        assert doc["clusters"][0]["size"] >= doc["clusters"][-1]["size"]
+
+
+class TestGraphML:
+    def test_graphml_loads_back(self, default_view, tmp_path):
+        graph = default_view.user_graph()
+        path = tmp_path / "graph.graphml"
+        cleaned = export_user_graph_graphml(graph, path, min_edge_value=0)
+        loaded = nx.read_graphml(path)
+        assert loaded.number_of_nodes() == cleaned.number_of_nodes()
+        assert loaded.number_of_edges() == cleaned.number_of_edges()
+
+    def test_min_edge_filter(self, default_view, tmp_path):
+        graph = default_view.user_graph()
+        path = tmp_path / "graph2.graphml"
+        cleaned = export_user_graph_graphml(
+            graph, path, min_edge_value=10**12
+        )
+        assert cleaned.number_of_edges() < graph.number_of_edges()

@@ -1,0 +1,43 @@
+"""Re-identification attack behaviour on the default world."""
+
+from repro.tagging.tags import SOURCE_OWN
+
+
+class TestAttack:
+    def test_engages_whole_roster(self, default_world):
+        attack = default_world.extras["attack"]
+        roster = default_world.extras["roster"]
+        all_services = {
+            actor.name for actors in roster.values() for actor in actors
+        }
+        engaged = attack.stats.services_engaged
+        missing = all_services - engaged
+        assert len(missing) <= 2, f"unengaged services: {missing}"
+
+    def test_tags_are_own_source(self, default_world):
+        attack = default_world.extras["attack"]
+        assert all(t.source == SOURCE_OWN for t in attack.tags.all_tags())
+
+    def test_deposit_and_payout_tagging(self, default_world):
+        attack = default_world.extras["attack"]
+        assert attack.stats.deposits > 10
+        assert attack.stats.payouts_observed > 10
+        # Payout observation tags *input* addresses of service payments:
+        # so we must have more tagged addresses than deposits alone.
+        assert attack.tags.address_count > attack.stats.deposits
+
+    def test_mining_pools_tagged_via_payouts(self, default_world):
+        """Pool payout inputs get tagged with the pool's name."""
+        attack = default_world.extras["attack"]
+        gt = default_world.ground_truth
+        pool_tags = [
+            t
+            for t in attack.tags.all_tags()
+            if gt.category_of(t.entity) == "mining"
+        ]
+        assert pool_tags, "no pool addresses tagged"
+
+    def test_dice_bet_addresses_tagged(self, default_world):
+        attack = default_world.extras["attack"]
+        entities = attack.tags.entities()
+        assert "Satoshi Dice" in entities

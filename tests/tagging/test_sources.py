@@ -1,0 +1,53 @@
+"""Public tag crawl: coverage, mislabeling, determinism."""
+
+import pytest
+
+from repro.tagging.sources import PublicTagCrawl, manual_theft_tags
+from repro.tagging.tags import SOURCE_PUBLIC
+
+
+class TestCrawl:
+    def test_yields_public_tags(self, micro_world):
+        store = PublicTagCrawl(micro_world, seed=4).crawl()
+        assert store.address_count > 0
+        assert all(t.source == SOURCE_PUBLIC for t in store.all_tags())
+
+    def test_deterministic(self, micro_world):
+        a = PublicTagCrawl(micro_world, seed=4).crawl()
+        b = PublicTagCrawl(micro_world, seed=4).crawl()
+        assert a.as_mapping() == b.as_mapping()
+
+    def test_mislabeling_injected(self, micro_world):
+        gt = micro_world.ground_truth
+        store = PublicTagCrawl(
+            micro_world, seed=4, mislabel_rate=0.5, coverage=0.3
+        ).crawl()
+        wrong = sum(
+            1
+            for t in store.all_tags()
+            if gt.owner_of(t.address) != t.entity
+        )
+        assert wrong > 0
+
+    def test_zero_mislabel_rate_is_clean(self, micro_world):
+        gt = micro_world.ground_truth
+        store = PublicTagCrawl(micro_world, seed=4, mislabel_rate=0.0).crawl()
+        assert all(
+            gt.owner_of(t.address) == t.entity for t in store.all_tags()
+        )
+
+    def test_criminals_not_self_advertised(self, micro_world):
+        gt = micro_world.ground_truth
+        store = PublicTagCrawl(micro_world, seed=4, mislabel_rate=0.0).crawl()
+        assert not any(
+            gt.category_of(t.entity) == "crime" for t in store.all_tags()
+        )
+
+    def test_bad_rate_rejected(self, micro_world):
+        with pytest.raises(ValueError):
+            PublicTagCrawl(micro_world, mislabel_rate=2.0)
+
+
+class TestManualTheftTags:
+    def test_empty_without_thefts(self, micro_world):
+        assert len(manual_theft_tags(micro_world)) == 0

@@ -1,0 +1,25 @@
+"""CLI dispatch (fast paths only; experiments have their own tests)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestSimulateCommand:
+    def test_simulate_micro_writes_block_files(self, tmp_path, capsys):
+        exit_code = main(
+            ["simulate", "--scenario", "micro", "--seed", "3",
+             "--out", str(tmp_path)]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "validation OK" in out
+        assert list(tmp_path.glob("blk*.dat"))
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["definitely-not-a-command"])
+
+    def test_missing_out_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--scenario", "micro"])

@@ -1,0 +1,39 @@
+"""The fast examples run to completion as scripts."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script: str, timeout: int = 180) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        cwd=EXAMPLES.parent,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = _run("quickstart.py")
+        assert "chain valid: True" in out
+        assert "amplification" in out
+
+    def test_network_propagation(self):
+        out = _run("network_propagation.py")
+        assert "100%" in out
+        assert "confirmed: True" in out
+
+    @pytest.mark.slow
+    def test_track_silkroad(self):
+        out = _run("track_silkroad.py", timeout=400)
+        assert "chain 3" in out
+        assert "peels to known exchanges" in out

@@ -1,0 +1,76 @@
+"""Table/figure renderers."""
+
+from repro.core.fp_estimation import FPEstimate
+from repro.reporting import (
+    render_figure2,
+    render_fp_ladder,
+    render_table,
+    render_table2,
+    render_table3,
+)
+from repro.analysis.peeling import ServicePeelSummary
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        out = render_table(
+            ["name", "n"], [["short", 1], ["a-much-longer-name", 22]],
+            title="T",
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert len(lines) == 5  # title + header + rule + 2 rows
+        # all rows equal width
+        assert len(set(len(line.rstrip()) for line in lines[2:])) <= 2
+
+    def test_empty_rows(self):
+        out = render_table(["a", "b"], [])
+        assert "a" in out
+
+
+class TestLadder:
+    def test_render(self):
+        estimates = [
+            FPEstimate("naive", 100, 13, 5),
+            FPEstimate("refined", 90, 1, None),
+        ]
+        out = render_fp_ladder(estimates)
+        assert "13.00%" in out
+        assert "n/a" in out
+
+
+class TestTable2:
+    def test_render(self):
+        summaries = [
+            {"Mt Gox": ServicePeelSummary("Mt Gox", 11, 492_00000000)},
+            {},
+            {"Mt Gox": ServicePeelSummary("Mt Gox", 5, 35_00000000)},
+        ]
+        out = render_table2(summaries)
+        assert "Mt Gox" in out
+        assert "#1 peels" in out and "#3 BTC" in out
+        assert "492" in out
+
+
+class TestTable3:
+    def test_render(self):
+        rows = [
+            {
+                "name": "Betcoin",
+                "btc": "3,171",
+                "movement_paper": "F/A/P",
+                "movement_found": "F/A/P",
+                "reached_exchanges": True,
+            }
+        ]
+        out = render_table3(rows)
+        assert "Betcoin" in out
+        assert "Yes" in out
+
+
+class TestFigure2:
+    def test_render(self, silkroad_view):
+        series = silkroad_view.balance_series(samples=30)
+        out = render_figure2(series)
+        assert "exchanges" in out
+        assert "peak" in out
