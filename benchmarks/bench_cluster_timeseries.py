@@ -1,0 +1,65 @@
+"""Cluster growth at every height: streaming pass vs naive re-clustering.
+
+The temporal question behind §4 ("what did the clustering look like as
+of height h?") used to cost a full H1+H2 re-run per cutoff.  The
+incremental engine answers it for *all* heights from one chain pass plus
+checkpoint arithmetic.  Asserted shape: the series agrees with batch
+``cluster(as_of_height=h)`` wherever we spot-check it, grows monotonically
+in addresses, and the full-series pass beats the naive loop over a small
+handful of heights by construction.
+"""
+
+import time
+
+from repro import experiments
+from repro.core.incremental import IncrementalClusteringEngine
+from repro.pipeline import AnalystView
+
+
+def test_cluster_timeseries_single_pass(benchmark, bench_default_world):
+    result = benchmark.pedantic(
+        experiments.run_cluster_timeseries,
+        args=(bench_default_world,),
+        rounds=3,
+        iterations=1,
+    )
+    print("\n" + result.report)
+    index = bench_default_world.index
+    assert len(result.points) == index.height + 1
+    addresses = [p.address_count for p in result.points]
+    assert addresses == sorted(addresses)
+    assert addresses[-1] == index.address_count
+    # H2 only ever collapses the H1 partition.
+    assert all(p.clusters <= p.h1_clusters for p in result.points)
+    # The tip of the series is the batch engine's full-chain answer.
+    view = AnalystView.build(bench_default_world)
+    assert result.final_clusters == view.clustering.cluster_count
+    assert result.final_h1_clusters == view.clustering_h1.cluster_count
+
+
+def test_incremental_beats_naive_per_height_loop(bench_default_world):
+    """One streaming pass over *every* height must beat re-clustering
+    from scratch at even a handful of heights."""
+    view = AnalystView.build(bench_default_world)
+    index = bench_default_world.index
+
+    start = time.perf_counter()
+    engine = IncrementalClusteringEngine(
+        index, h2_config=view.h2_config, dice_addresses=view.dice_addresses
+    )
+    series = engine.cluster_count_series()
+    incremental_seconds = time.perf_counter() - start
+
+    sample_heights = list(range(0, index.height + 1, max(1, index.height // 4)))
+    start = time.perf_counter()
+    for height in sample_heights:
+        batch = view.engine.cluster(as_of_height=height)
+        assert batch.cluster_count == series[height].clusters, height
+        assert batch.address_count == series[height].address_count, height
+    naive_seconds = time.perf_counter() - start
+
+    print(
+        f"\nincremental: {len(series)} heights in {incremental_seconds:.3f}s; "
+        f"naive loop: {len(sample_heights)} heights in {naive_seconds:.3f}s"
+    )
+    assert incremental_seconds < naive_seconds

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from typing import Callable, Iterable, Iterator
 
 from .errors import (
     DoubleSpendError,
@@ -28,6 +28,7 @@ from .errors import (
     UnknownAddressError,
     UnknownTransactionError,
 )
+from .intern import AddressInterner
 from .model import Block, OutPoint, Transaction, TxOut
 
 
@@ -56,6 +57,10 @@ class AddressRecord:
     """Everything the index knows about one address."""
 
     address: str
+    address_id: int = -1
+    """Dense interned id (see :class:`~repro.chain.intern.AddressInterner`);
+    -1 for records built outside a :class:`ChainIndex`."""
+
     receives: list[Receive] = field(default_factory=list)
     spends: list[Spend] = field(default_factory=list)
     receive_heights: list[int] = field(default_factory=list)
@@ -114,10 +119,16 @@ class ChainIndex:
         self._utxos: dict[OutPoint, TxOut] = {}
         self._spent_by: dict[OutPoint, tuple[bytes, int]] = {}
         self._addresses: dict[str, AddressRecord] = {}
+        self._records_by_id: list[AddressRecord] = []
+        self._interner = AddressInterner()
         self._blocks: list[Block] = []
         # Addresses appearing in a tx's outputs whose prevouts include the
         # same address ("self-change" usage, §4.2).
         self._self_change_history: dict[str, list[int]] = {}
+        # Per-tx input address ids (dedup'd, insertion-ordered), memoized:
+        # the heuristics resolve the same transaction's senders many times.
+        self._input_ids: dict[bytes, tuple[int, ...]] = {}
+        self._observers: list[Callable[[Block], None]] = []
 
     # ------------------------------------------------------------------
     # ingestion
@@ -134,6 +145,23 @@ class ChainIndex:
         for i, tx in enumerate(block.transactions):
             self._add_tx(tx, block, i)
         self._blocks.append(block)
+        for observer in self._observers:
+            observer(block)
+
+    def subscribe(self, observer: Callable[[Block], None]) -> Callable[[], None]:
+        """Register a per-block observer; returns an unsubscribe callable.
+
+        Observers are called after each block is fully ingested (index
+        queries see the block), in subscription order.  This is the hook
+        the incremental clustering engine streams from.
+        """
+        self._observers.append(observer)
+
+        def unsubscribe() -> None:
+            if observer in self._observers:
+                self._observers.remove(observer)
+
+        return unsubscribe
 
     def add_chain(self, blocks: Iterable[Block]) -> None:
         """Ingest a whole chain in order."""
@@ -176,8 +204,9 @@ class ChainIndex:
                 continue
             record = self._addresses.get(addr)
             if record is None:
-                record = AddressRecord(addr)
+                record = AddressRecord(addr, self._interner.intern(addr))
                 self._addresses[addr] = record
+                self._records_by_id.append(record)
             record.receives.append(Receive(block.height, txid, vout, txout.value))
             record.receive_heights.append(block.height)
             if addr in input_addrs:
@@ -274,6 +303,11 @@ class ChainIndex:
     # addresses
     # ------------------------------------------------------------------
 
+    @property
+    def interner(self) -> AddressInterner:
+        """The index's address interner (string ⇄ dense id)."""
+        return self._interner
+
     def has_address(self, address: str) -> bool:
         return address in self._addresses
 
@@ -283,6 +317,13 @@ class ChainIndex:
             return self._addresses[address]
         except KeyError:
             raise UnknownAddressError(address) from None
+
+    def address_by_id(self, address_id: int) -> AddressRecord:
+        """The :class:`AddressRecord` for an interned address id."""
+        try:
+            return self._records_by_id[address_id]
+        except IndexError:
+            raise UnknownAddressError(f"id:{address_id}") from None
 
     def iter_addresses(self) -> Iterator[AddressRecord]:
         yield from self._addresses.values()
@@ -295,17 +336,35 @@ class ChainIndex:
         """Addresses that have received but never spent (paper §4.1)."""
         return [a for a, rec in self._addresses.items() if rec.is_sink]
 
-    def input_addresses(self, tx: Transaction) -> list[str]:
-        """Addresses owning the outputs a transaction spends (deduplicated,
-        insertion-ordered).  Empty for coinbases."""
-        seen: dict[str, None] = {}
+    def input_address_ids(self, tx: Transaction) -> tuple[int, ...]:
+        """Interned ids of the addresses a transaction spends from
+        (deduplicated, insertion-ordered).  Empty for coinbases.
+
+        Memoized per txid for transactions in the index: the clustering
+        heuristics resolve the same senders repeatedly (H1 unions, H2
+        candidate checks, dice lookups, FP replay).
+        """
+        txid = tx.txid
+        cached = self._input_ids.get(txid)
+        if cached is not None:
+            return cached
+        seen: dict[int, None] = {}
         for txin in tx.inputs:
             if txin.is_coinbase:
                 continue
             addr = self.output(txin.prevout).address
             if addr is not None:
-                seen.setdefault(addr)
-        return list(seen)
+                seen.setdefault(self._interner.intern(addr))
+        ids = tuple(seen)
+        if txid in self._txs:
+            self._input_ids[txid] = ids
+        return ids
+
+    def input_addresses(self, tx: Transaction) -> list[str]:
+        """Addresses owning the outputs a transaction spends (deduplicated,
+        insertion-ordered).  Empty for coinbases.  This is the reporting
+        edge of :meth:`input_address_ids`."""
+        return self._interner.addresses_of(self.input_address_ids(tx))
 
     def input_value(self, tx: Transaction) -> int:
         """Total satoshis consumed by a transaction's inputs."""

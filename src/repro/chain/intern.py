@@ -1,0 +1,60 @@
+"""Address interning: dense integer ids for address strings.
+
+Base58 address strings are long, heap-allocated, and hash slowly; the
+clustering hot path performs millions of lookups and unions over them.
+An :class:`AddressInterner` assigns every address a dense ``int`` id at
+first sight (ids are allocated in chain-ingestion order, so the ids
+``0..n_h-1`` are exactly the addresses seen by the end of height ``h``
+— a property the incremental engine's time-travel snapshots rely on).
+
+Downstream consumers carry ids through the union-find hot path and
+translate back to strings only at the reporting edge.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+
+class AddressInterner:
+    """Bidirectional address-string ⇄ dense-int-id mapping."""
+
+    __slots__ = ("_ids", "_addresses")
+
+    def __init__(self) -> None:
+        self._ids: dict[str, int] = {}
+        self._addresses: list[str] = []
+
+    def intern(self, address: str) -> int:
+        """The id for ``address``, allocating the next dense id if new."""
+        ident = self._ids.get(address)
+        if ident is None:
+            ident = len(self._addresses)
+            self._ids[address] = ident
+            self._addresses.append(address)
+        return ident
+
+    def id_of(self, address: str) -> int | None:
+        """The id for ``address`` if already interned (never allocates)."""
+        return self._ids.get(address)
+
+    def address_of(self, ident: int) -> str:
+        """The address string for an id (raises ``IndexError`` if unknown)."""
+        if ident < 0:
+            raise IndexError(f"invalid address id {ident}")
+        return self._addresses[ident]
+
+    def addresses_of(self, idents: Iterable[int]) -> list[str]:
+        """Bulk id → string translation (the reporting edge)."""
+        addresses = self._addresses
+        return [addresses[i] for i in idents]
+
+    def __contains__(self, address: str) -> bool:
+        return address in self._ids
+
+    def __len__(self) -> int:
+        return len(self._addresses)
+
+    def __iter__(self) -> Iterator[str]:
+        """Addresses in id (= first-sight) order."""
+        return iter(self._addresses)

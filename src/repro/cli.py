@@ -5,11 +5,17 @@ Commands map one-to-one onto the paper's experiments::
     python -m repro table1              # §3.1 service roster + attack
     python -m repro section4            # §4 cluster accounting
     python -m repro fp-ladder           # §4.2 refinement ladder
+    python -m repro timeseries          # cluster growth at every height
     python -m repro table2              # §5 hoard peeling chains
     python -m repro table3              # §5 theft tracking
     python -m repro figure2             # category balances (ASCII chart)
     python -m repro ablation            # H2 refinement ablation
     python -m repro simulate --out DIR  # write a world as blk*.dat files
+
+``timeseries`` runs the incremental streaming engine: one pass over the
+chain yields the H1 / H1+H2 cluster counts and live change-label count
+at *every* height (``--scenario`` picks the world, as for ``simulate``),
+instead of re-clustering per cutoff.
 """
 
 from __future__ import annotations
@@ -54,6 +60,13 @@ def _build_parser() -> argparse.ArgumentParser:
     add("figure2", "category balances over time (Figure 2)", seed_default=1)
     add("ablation", "H2 refinement ablation")
 
+    series = sub.add_parser(
+        "timeseries",
+        help="cluster growth at every height (incremental engine, one pass)",
+    )
+    series.add_argument("--scenario", choices=sorted(_SCENARIOS), default="default")
+    series.add_argument("--seed", type=int, default=0)
+
     sim = sub.add_parser("simulate", help="generate a world and write block files")
     sim.add_argument("--scenario", choices=sorted(_SCENARIOS), default="default")
     sim.add_argument("--seed", type=int, default=0)
@@ -82,6 +95,9 @@ def main(argv: list[str] | None = None) -> int:
         print(experiments.run_figure2(seed=args.seed).report)
     elif args.command == "ablation":
         print(experiments.run_ablation(seed=args.seed).report)
+    elif args.command == "timeseries":
+        world = _SCENARIOS[args.scenario](seed=args.seed)
+        print(experiments.run_cluster_timeseries(world).report)
     elif args.command == "stats":
         from .chain.stats import compute_statistics, format_statistics
 

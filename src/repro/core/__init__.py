@@ -5,15 +5,18 @@
 * :mod:`~repro.core.heuristic2` — one-time change identification with
   the §4.2 refinement ladder (the paper's novel heuristic);
 * :mod:`~repro.core.clustering` — the combined engine;
+* :mod:`~repro.core.incremental` — streaming per-block clustering with
+  checkpointed time-travel (one chain pass, every height);
 * :mod:`~repro.core.fp_estimation` — temporal-replay false-positive
   estimation (13% → 1% → 0.28% → 0.17% in the paper);
 * :mod:`~repro.core.supercluster` — detection of wrongly merged service
   clusters (the Mt.Gox/Instawallet/BitPay/Silk Road giant).
 """
 
-from .clustering import Clustering, ClusteringEngine
+from .clustering import Clustering, ClusteringEngine, InternedPartition
 from .fp_estimation import FalsePositiveEstimator, FPEstimate
-from .heuristic1 import H1Statistics, cluster_h1, h1_statistics
+from .heuristic1 import H1Statistics, cluster_h1, cluster_h1_ids, h1_statistics
+from .incremental import ClusterSnapshot, IncrementalClusteringEngine
 from .heuristic2 import (
     SECONDS_PER_DAY,
     SECONDS_PER_WEEK,
@@ -29,10 +32,11 @@ from .supercluster import (
     SuperClusterReport,
     diagnose_superclusters,
 )
-from .union_find import UnionFind
+from .union_find import IntUnionFind, UnionFind
 
 __all__ = [
     "ChangeLabel",
+    "ClusterSnapshot",
     "Clustering",
     "ClusteringEngine",
     "FPEstimate",
@@ -41,12 +45,16 @@ __all__ = [
     "Heuristic2",
     "Heuristic2Config",
     "Heuristic2Result",
+    "IncrementalClusteringEngine",
+    "IntUnionFind",
+    "InternedPartition",
     "MergedClusterInfo",
     "SECONDS_PER_DAY",
     "SECONDS_PER_WEEK",
     "SuperClusterReport",
     "UnionFind",
     "cluster_h1",
+    "cluster_h1_ids",
     "diagnose_superclusters",
     "dice_addresses_from_tags",
     "find_candidate",

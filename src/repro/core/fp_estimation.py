@@ -22,6 +22,7 @@ from .heuristic2 import (
     SECONDS_PER_DAY,
     SECONDS_PER_WEEK,
     find_candidate,
+    is_dice_spend,
 )
 
 
@@ -68,6 +69,10 @@ class FalsePositiveEstimator:
         self.dice_addresses = dice_addresses
         self.ground_truth = ground_truth
         self._candidates: list[_Candidate] | None = None
+        self._dice_verdicts: dict[bytes, bool] = {}
+        """Per-txid 'is this receive paid solely by dice addresses?'
+        verdicts: every ladder rung re-walks the same later receives, so
+        the sender resolution is memoized across rungs."""
 
     # ------------------------------------------------------------------
     # candidate collection (once; rungs share it)
@@ -111,9 +116,13 @@ class FalsePositiveEstimator:
         return record.receives_after(candidate.height)
 
     def _is_from_dice(self, receive: Receive) -> bool:
-        tx = self.index.tx(receive.txid)
-        senders = self.index.input_addresses(tx)
-        return bool(senders) and all(s in self.dice_addresses for s in senders)
+        verdict = self._dice_verdicts.get(receive.txid)
+        if verdict is None:
+            verdict = is_dice_spend(
+                self.index, self.index.tx(receive.txid), self.dice_addresses
+            )
+            self._dice_verdicts[receive.txid] = verdict
+        return verdict
 
     def estimate(
         self,

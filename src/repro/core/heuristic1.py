@@ -18,32 +18,54 @@ produces the same accounting for a simulated chain.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..chain.index import ChainIndex
-from .union_find import UnionFind
+from .union_find import IntUnionFind, UnionFind
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .clustering import InternedPartition
 
 
-def cluster_h1(index: ChainIndex, *, as_of_height: int | None = None) -> UnionFind:
-    """Run Heuristic 1 over the chain (optionally only up to a height).
+def cluster_h1_ids(
+    index: ChainIndex, *, as_of_height: int | None = None
+) -> IntUnionFind:
+    """Run Heuristic 1 over interned address ids (the hot path).
 
-    Every address that has ever appeared is added to the structure, so
-    sink addresses show up as singleton components; co-spending unions
-    input addresses transaction by transaction.
+    Every address that has appeared by the cutoff exists in the
+    structure (ids are dense and first-sight ordered, so the universe is
+    exactly ``0..n_h-1``); sink addresses stay singleton components and
+    co-spending unions input ids transaction by transaction.
     """
-    uf = UnionFind()
+    uf = IntUnionFind()
+    interner = index.interner
+    id_of = interner.id_of
     for tx, location in index.iter_transactions():
         if as_of_height is not None and location.height > as_of_height:
             break
         for out in tx.outputs:
             address = out.address
             if address is not None:
-                uf.add(address)
+                ident = id_of(address)
+                if ident is not None and ident >= len(uf):
+                    uf.ensure(ident + 1)
         if tx.is_coinbase:
             continue
-        input_addresses = index.input_addresses(tx)
-        if input_addresses:
-            uf.union_all(input_addresses)
+        input_ids = index.input_address_ids(tx)
+        if input_ids:
+            uf.union_many(input_ids)
     return uf
+
+
+def cluster_h1(
+    index: ChainIndex, *, as_of_height: int | None = None
+) -> "InternedPartition":
+    """Heuristic 1 as an address-string-facing partition view."""
+    from .clustering import InternedPartition
+
+    return InternedPartition(
+        cluster_h1_ids(index, as_of_height=as_of_height), index.interner
+    )
 
 
 @dataclass(frozen=True)
@@ -64,8 +86,14 @@ class H1Statistics:
     largest_cluster_size: int
 
 
-def h1_statistics(index: ChainIndex, uf: UnionFind | None = None) -> H1Statistics:
-    """Compute the §4.1 cluster counts for a chain."""
+def h1_statistics(
+    index: ChainIndex, uf: "UnionFind | InternedPartition | None" = None
+) -> H1Statistics:
+    """Compute the §4.1 cluster counts for a chain.
+
+    ``uf`` may be any address-keyed partition (a generic
+    :class:`UnionFind` or an :class:`~repro.core.clustering.InternedPartition`).
+    """
     uf = uf if uf is not None else cluster_h1(index)
     sinks = set(index.sink_addresses())
     spender_roots = set()

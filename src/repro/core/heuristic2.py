@@ -117,6 +117,19 @@ class Heuristic2Result:
         return len(self.labels)
 
 
+def is_dice_spend(
+    index: ChainIndex, tx: Transaction, dice_addresses: frozenset[str]
+) -> bool:
+    """True when every resolvable sender of ``tx`` is a dice address.
+
+    The single definition of the §4.2 dice-exception sender test, shared
+    by the batch wait check, the incremental engine's forward voiding,
+    and the false-positive estimator — so the three can never diverge.
+    """
+    senders = index.input_addresses(tx)
+    return bool(senders) and all(s in dice_addresses for s in senders)
+
+
 def find_candidate(
     index: ChainIndex, tx: Transaction, height: int, *, min_outputs: int = 2
 ) -> tuple[int | None, str]:
@@ -235,9 +248,9 @@ class Heuristic2:
 
     def _receive_is_from_dice(self, receive) -> bool:
         """Is this receive a payment sent by a dice-game address?"""
-        tx = self.index.tx(receive.txid)
-        senders = self.index.input_addresses(tx)
-        return bool(senders) and all(s in self.dice_addresses for s in senders)
+        return is_dice_spend(
+            self.index, self.index.tx(receive.txid), self.dice_addresses
+        )
 
     def _within_window(self, event_height: int, height: int) -> bool:
         window = self.config.rejection_window_seconds
@@ -288,14 +301,17 @@ class Heuristic2:
     # main entry points
     # ------------------------------------------------------------------
 
-    def identify_change(
-        self, tx: Transaction, *, as_of_height: int | None = None
+    def identify_change_static(
+        self, tx: Transaction
     ) -> tuple[ChangeLabel | None, str]:
-        """Identify the one-time change output of ``tx``, if any.
+        """The purely-past part of the label decision.
 
-        ``as_of_height`` bounds the information used (temporal replay:
-        the analysis pretends the chain ends there).  Returns
-        ``(label, reason)``.
+        Applies the four base conditions plus the two §4.2 rejections,
+        all of which read only information at or before the
+        transaction's own height — no waiting-period lookahead.  This is
+        what the incremental engine evaluates as a block arrives (the
+        wait check is then applied forward, as later receives stream
+        in); :meth:`identify_change` layers the lookahead on top.
         """
         height = self.index.location(tx.txid).height
         vout, reason = find_candidate(
@@ -312,12 +328,29 @@ class Heuristic2:
             tx, height
         ):
             return None, "prior_self_change"
+        return (
+            ChangeLabel(txid=tx.txid, vout=vout, address=address, height=height),
+            "ok",
+        )
+
+    def identify_change(
+        self, tx: Transaction, *, as_of_height: int | None = None
+    ) -> tuple[ChangeLabel | None, str]:
+        """Identify the one-time change output of ``tx``, if any.
+
+        ``as_of_height`` bounds the information used (temporal replay:
+        the analysis pretends the chain ends there).  Returns
+        ``(label, reason)``.
+        """
+        label, reason = self.identify_change_static(tx)
+        if label is None:
+            return None, reason
         voided, _dice_saved = self._later_inputs_void_one_timeness(
-            address, height, as_of_height=as_of_height
+            label.address, label.height, as_of_height=as_of_height
         )
         if voided:
             return None, "wait_voided"
-        return ChangeLabel(txid=tx.txid, vout=vout, address=address, height=height), "ok"
+        return label, "ok"
 
     def run(self, *, as_of_height: int | None = None) -> Heuristic2Result:
         """Label change addresses across the whole chain (or a prefix)."""

@@ -1,9 +1,11 @@
-"""Disjoint-set forest (union-find) over arbitrary hashable items.
+"""Disjoint-set forests: a generic one and an array-backed int one.
 
-The workhorse of both clustering heuristics.  Union by size with path
-compression gives effectively-constant amortized operations, which
-matters: Heuristic 1 alone performs one union per co-spent address pair
-across the whole chain.
+:class:`UnionFind` works over arbitrary hashable items (tags, test
+fixtures, miscellaneous groupings).  The clustering hot path instead
+runs on :class:`IntUnionFind`, which is backed by flat lists indexed by
+the dense address ids the chain layer interns, and which keeps an undo
+log so unions can be checkpointed and rolled back — the mechanism behind
+the incremental engine's time-travel snapshots.
 """
 
 from __future__ import annotations
@@ -54,6 +56,16 @@ class UnionFind:
             self._parent[item], item = root, self._parent[item]
         return root
 
+    def find_root(self, item: Hashable) -> Hashable | None:
+        """Representative of ``item``'s set, or ``None`` if untracked.
+
+        The read-only counterpart of :meth:`find`: querying an unknown
+        item never adds it (so lookups cannot inflate the item count).
+        """
+        if item not in self._parent:
+            return None
+        return self.find(item)
+
     def union(self, a: Hashable, b: Hashable) -> Hashable:
         """Merge the sets containing ``a`` and ``b``; returns the root."""
         ra, rb = self.find(a), self.find(b)
@@ -88,6 +100,16 @@ class UnionFind:
         """Size of the set containing ``item``."""
         return self._size[self.find(item)]
 
+    def component_sizes(self) -> dict[Hashable, int]:
+        """``root -> component size`` without materializing member lists.
+
+        Roots are exactly the self-parented items, so this is a single
+        scan of the parent map reading the maintained ``_size`` entries.
+        """
+        parent = self._parent
+        size = self._size
+        return {item: size[item] for item, p in parent.items() if p == item}
+
     def components(self) -> dict[Hashable, list[Hashable]]:
         """Materialize all sets as ``root -> members``."""
         out: dict[Hashable, list[Hashable]] = defaultdict(list)
@@ -105,4 +127,151 @@ class UnionFind:
         clone._parent = dict(self._parent)
         clone._size = dict(self._size)
         clone._components = self._components
+        return clone
+
+
+class IntUnionFind:
+    """Array-backed disjoint sets over dense ids ``0..n-1`` with undo.
+
+    Union-by-size **without path compression**: the structure is then a
+    pure function of its union log, so any merge can be undone by
+    resetting one parent pointer — which is what makes
+    :meth:`checkpoint` / :meth:`rollback` / :meth:`replay` exact.  Finds
+    are O(log n) worst case (union-by-size bounds tree depth), which the
+    flat-list backing more than pays back against the dict-of-strings
+    structure on the clustering hot path.
+    """
+
+    __slots__ = ("_parent", "_size", "_components", "_log")
+
+    def __init__(self, n: int = 0) -> None:
+        self._parent: list[int] = list(range(n))
+        self._size: list[int] = [1] * n
+        self._components = n
+        self._log: list[tuple[int, int]] = []
+        """Merge log: ``(absorbed_root, kept_root)`` per effective union."""
+
+    def ensure(self, n: int) -> None:
+        """Grow the universe so ids ``0..n-1`` exist (as singletons)."""
+        current = len(self._parent)
+        if n <= current:
+            return
+        self._parent.extend(range(current, n))
+        self._size.extend([1] * (n - current))
+        self._components += n - current
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def __contains__(self, item: int) -> bool:
+        return 0 <= item < len(self._parent)
+
+    @property
+    def component_count(self) -> int:
+        return self._components
+
+    def find(self, item: int) -> int:
+        """Root of ``item``'s set (no path compression; see class doc)."""
+        parent = self._parent
+        while parent[item] != item:
+            item = parent[item]
+        return item
+
+    def union(self, a: int, b: int) -> int:
+        """Merge the sets of ``a`` and ``b``; logs the merge for undo."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+        self._components -= 1
+        self._log.append((rb, ra))
+        return ra
+
+    def union_many(self, items: Iterable[int]) -> int | None:
+        """Merge every id in ``items`` into one set; returns its root."""
+        iterator = iter(items)
+        try:
+            root = self.find(next(iterator))
+        except StopIteration:
+            return None
+        for item in iterator:
+            root = self.union(root, item)
+        return root
+
+    def connected(self, a: int, b: int) -> bool:
+        return self.find(a) == self.find(b)
+
+    def size_of(self, item: int) -> int:
+        return self._size[self.find(item)]
+
+    def component_sizes(self) -> dict[int, int]:
+        """``root -> component size`` (roots are self-parented ids)."""
+        size = self._size
+        return {
+            i: size[i] for i, p in enumerate(self._parent) if p == i
+        }
+
+    def components(self) -> dict[int, list[int]]:
+        """Materialize all sets as ``root -> member ids``."""
+        out: dict[int, list[int]] = defaultdict(list)
+        for i in range(len(self._parent)):
+            out[self.find(i)].append(i)
+        return dict(out)
+
+    # ------------------------------------------------------------------
+    # checkpoint / rollback / replay
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> int:
+        """A token marking the current position in the merge log."""
+        return len(self._log)
+
+    def rollback(self, token: int) -> list[tuple[int, int]]:
+        """Undo every union after ``token``; ids added by :meth:`ensure`
+        stay (as singletons).  Returns the undone log entries in
+        chronological order, suitable for :meth:`replay`."""
+        undone = self._log[token:]
+        parent = self._parent
+        size = self._size
+        for absorbed, kept in reversed(undone):
+            parent[absorbed] = absorbed
+            size[kept] -= size[absorbed]
+        self._components += len(undone)
+        del self._log[token:]
+        return undone
+
+    def replay(self, entries: Iterable[tuple[int, int]]) -> None:
+        """Re-apply previously recorded merges (chronological order).
+
+        Entries must come from this structure's own log (via
+        :meth:`rollback` or :meth:`log_prefix`) and be applied onto the
+        exact state they were recorded against — each ``absorbed`` must
+        currently be a root.  No finds are needed, so replay is O(1) per
+        entry.
+        """
+        parent = self._parent
+        size = self._size
+        log = self._log
+        n = 0
+        for absorbed, kept in entries:
+            parent[absorbed] = kept
+            size[kept] += size[absorbed]
+            log.append((absorbed, kept))
+            n += 1
+        self._components -= n
+
+    def log_prefix(self, token: int) -> list[tuple[int, int]]:
+        """The first ``token`` merge-log entries (chronological)."""
+        return self._log[:token]
+
+    def copy(self) -> "IntUnionFind":
+        """An independent copy (log included)."""
+        clone = IntUnionFind()
+        clone._parent = list(self._parent)
+        clone._size = list(self._size)
+        clone._components = self._components
+        clone._log = list(self._log)
         return clone

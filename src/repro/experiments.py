@@ -19,12 +19,14 @@ from .core.heuristic2 import Heuristic2Config
 from .core.supercluster import diagnose_superclusters
 from .metrics.evaluation import compare_clusterings, pairwise_scores
 from .pipeline import AnalystView
+from .core.incremental import ClusterSnapshot
 from .reporting import (
     render_figure2,
     render_fp_ladder,
     render_table,
     render_table2,
     render_table3,
+    render_timeseries,
 )
 from .simulation import scenarios
 from .simulation.economy import World
@@ -211,6 +213,43 @@ def _merges_any_majors(report) -> bool:
     majors = set(MAJOR_SERVICES)
     return any(
         len(majors & set(info.entities)) >= 2 for info in report.merged_clusters
+    )
+
+
+# ----------------------------------------------------------------------
+# Cluster-growth time series — the incremental engine's headline workload
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class TimeSeriesResult:
+    points: list[ClusterSnapshot]
+    final_clusters: int
+    final_h1_clusters: int
+    peak_active_labels: int
+    report: str
+
+
+def run_cluster_timeseries(
+    world: World | None = None, *, seed: int = 0
+) -> TimeSeriesResult:
+    """Cluster counts at every height of the chain, in one streaming pass.
+
+    This is the temporal view behind §4's narratives (how H2 collapses
+    the partition as change links accrue, how the wait rule retires
+    labels): the incremental engine clusters block by block and the
+    series is read off its checkpoints — no per-height re-clustering.
+    """
+    world = world or scenarios.default_economy(seed=seed)
+    view = AnalystView.build(world)
+    points = view.incremental.cluster_count_series()
+    final = points[-1] if points else None
+    return TimeSeriesResult(
+        points=points,
+        final_clusters=final.clusters if final else 0,
+        final_h1_clusters=final.h1_clusters if final else 0,
+        peak_active_labels=max((p.active_labels for p in points), default=0),
+        report=render_timeseries(points),
     )
 
 

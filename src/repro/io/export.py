@@ -27,8 +27,9 @@ def export_clusters_csv(
 ) -> int:
     """Write ``address,cluster_id,cluster_size,name`` rows.
 
-    Returns the number of rows written.  Cluster ids are the canonical
-    root addresses, which are stable for a given chain.
+    Returns the number of rows written.  Cluster ids are the partition's
+    canonical roots (dense interned address ids), which are stable for a
+    given chain.
     """
     name_of_cluster = name_of_cluster or (lambda _root: None)
     rows = 0

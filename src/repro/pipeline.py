@@ -21,6 +21,7 @@ from .analysis.user_graph import build_user_graph
 from .core.clustering import Clustering, ClusteringEngine
 from .core.fp_estimation import FalsePositiveEstimator
 from .core.heuristic2 import Heuristic2Config, dice_addresses_from_tags
+from .core.incremental import IncrementalClusteringEngine
 from .simulation.economy import World
 from .simulation.params import DICE_GAMES, FIGURE2_CATEGORIES
 from .tagging.naming import ClusterNaming
@@ -69,6 +70,16 @@ class AnalystView:
     @cached_property
     def engine(self) -> ClusteringEngine:
         return ClusteringEngine(
+            self.world.index,
+            h2_config=self.h2_config,
+            dice_addresses=self.dice_addresses,
+        )
+
+    @cached_property
+    def incremental(self) -> IncrementalClusteringEngine:
+        """Streaming engine over the world's chain: one pass, checkpoints
+        at every height, ``cluster_as_of``/``snapshot`` time travel."""
+        return IncrementalClusteringEngine(
             self.world.index,
             h2_config=self.h2_config,
             dice_addresses=self.dice_addresses,

@@ -126,6 +126,42 @@ def render_figure2(series, *, width: int = 72, title: str = "Figure 2") -> str:
     return "\n".join(lines)
 
 
+def render_timeseries(
+    points,
+    *,
+    samples: int = 12,
+    width: int = 72,
+    title: str = "Cluster growth over chain time",
+) -> str:
+    """The single-pass cluster-growth series: sparkline + sampled rows.
+
+    ``points`` are :class:`~repro.core.incremental.ClusterSnapshot`
+    records, one per height.
+    """
+    if not points:
+        return f"{title}: (empty chain)"
+    counts = [p.clusters for p in points]
+    peak = float(max(counts))
+    spark = "".join(_spark_char(v, peak) for v in _resample(counts, width))
+    lines = [f"{title} ({len(points)} heights, one chain pass)"]
+    lines.append(f"  {'clusters':>12s} |{spark}| peak {int(peak)}")
+    stride = max(1, (len(points) - 1) // max(1, samples - 1)) if len(points) > 1 else 1
+    sampled = list(points[::stride])
+    if sampled[-1] is not points[-1]:
+        sampled.append(points[-1])
+    rows = [
+        [p.height, p.address_count, p.h1_clusters, p.clusters, p.active_labels]
+        for p in sampled
+    ]
+    lines.append(
+        render_table(
+            ["height", "addresses", "H1 clusters", "H1+H2 clusters", "live labels"],
+            rows,
+        )
+    )
+    return "\n".join(lines)
+
+
 _SPARK_LEVELS = " ▁▂▃▄▅▆▇█"
 
 

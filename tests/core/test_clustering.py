@@ -49,6 +49,22 @@ class TestEngine:
         sizes = [size for _root, size in clustering.largest_clusters(3)]
         assert sizes == sorted(sizes, reverse=True)
 
+    def test_largest_clusters_agree_with_materialized_components(self):
+        clustering = ClusteringEngine(_world()).cluster()
+        by_size = {
+            root: len(members) for root, members in clustering.clusters().items()
+        }
+        assert dict(clustering.largest_clusters(len(by_size))) == by_size
+        assert clustering.component_sizes() == by_size
+
+    def test_lookup_of_unseen_address_is_non_mutating(self):
+        clustering = ClusteringEngine(_world()).cluster()
+        before = clustering.address_count
+        assert clustering.cluster_of(addr("ghost")) is None
+        assert not clustering.same_cluster(addr("p/a"), addr("ghost"))
+        assert addr("ghost") not in clustering.uf
+        assert clustering.address_count == before
+
     def test_effective_cluster_count_collapses_same_tag(self):
         clustering = ClusteringEngine(_world()).cluster_h1_only()
         # p/a+p/b are one cluster; p/change is separate under H1.  A tag

@@ -76,6 +76,16 @@ class TestSyntheticEstimates:
         estimator = FalsePositiveEstimator(_fp_world())
         assert estimator.candidates() is estimator.candidates()
 
+    def test_dice_verdicts_memoized_across_rungs(self):
+        estimator = FalsePositiveEstimator(
+            _fp_world(), dice_addresses=frozenset({addr("late-payer")})
+        )
+        estimator.estimate(name="dice", dice_exception=True)
+        first = dict(estimator._dice_verdicts)
+        assert first  # the reuse tx's senders were resolved once...
+        estimator.estimate(name="dice-again", dice_exception=True)
+        assert estimator._dice_verdicts == first  # ...and only once
+
 
 class TestLadderOnSimulatedWorld:
     def test_ladder_shape(self, default_world):

@@ -1,0 +1,195 @@
+"""Incremental streaming engine: equivalence with batch + time travel.
+
+The contract under test: for every height ``h``,
+``IncrementalClusteringEngine.cluster_as_of(h)`` induces exactly the
+partition and label set of ``ClusteringEngine.cluster(as_of_height=h)``
+— including labels that a later receive inside the §4.2 waiting window
+retroactively voids.
+"""
+
+import pytest
+
+from repro.chain.index import ChainIndex
+from repro.chain.model import COIN
+from repro.core.clustering import ClusteringEngine
+from repro.core.heuristic2 import Heuristic2Config
+from repro.core.incremental import IncrementalClusteringEngine
+from repro.simulation import scenarios
+
+from tests.helpers import addr, build_chain, coinbase, spend
+
+
+def _partition(clustering):
+    return {frozenset(members) for members in clustering.clusters().values()}
+
+
+def _assert_equivalent_at_every_height(index, *, h2_config=None, dice=frozenset()):
+    batch = ClusteringEngine(index, h2_config=h2_config, dice_addresses=dice)
+    incremental = IncrementalClusteringEngine(
+        index, h2_config=h2_config, dice_addresses=dice
+    )
+    for height in range(index.height + 1):
+        expected = batch.cluster(as_of_height=height)
+        actual = incremental.cluster_as_of(height)
+        assert actual.address_count == expected.address_count, height
+        assert actual.cluster_count == expected.cluster_count, height
+        assert actual.h2_result.labels == expected.h2_result.labels, height
+        assert _partition(actual) == _partition(expected), height
+        snap = incremental.snapshot(height)
+        assert snap.clusters == expected.cluster_count, height
+        assert snap.active_labels == len(expected.h2_result.labels), height
+
+
+def _change_world():
+    """One clean change label plus one voided within the wait window.
+
+    ``v/change`` looks like one-time change at height 4 but receives a
+    later payment one block (600s) later — inside the one-week wait —
+    so any horizon ≥ 5 must drop the label and its union.
+    """
+    cb_u = coinbase(addr("u/a"))
+    cb_v = coinbase(addr("v/a"))
+    warm1 = coinbase(addr("w1"))
+    warm2 = coinbase(addr("w2"))
+    late = coinbase(addr("late"))
+    seed1 = spend([(warm1, 0)], [(addr("shop"), 50 * COIN)])
+    seed2 = spend([(warm2, 0)], [(addr("shop"), 50 * COIN)])
+    pay_u = spend(
+        [(cb_u, 0)], [(addr("shop"), 30 * COIN), (addr("u/change"), 20 * COIN)]
+    )
+    pay_v = spend(
+        [(cb_v, 0)], [(addr("shop"), 30 * COIN), (addr("v/change"), 20 * COIN)]
+    )
+    reuse = spend([(late, 0)], [(addr("v/change"), 50 * COIN)])
+    blocks = [
+        [cb_u, cb_v, warm1, warm2, late],
+        [seed1],
+        [seed2],
+        [pay_u],
+        [pay_v],
+        [reuse],
+        [],
+    ]
+    return blocks
+
+
+class TestHandCraftedEquivalence:
+    def test_equivalent_at_every_height(self):
+        index = build_chain(_change_world())
+        _assert_equivalent_at_every_height(index)
+
+    def test_wait_voiding_is_horizon_dependent(self):
+        index = build_chain(_change_world())
+        incremental = IncrementalClusteringEngine(index)
+        at_labeling = incremental.cluster_as_of(4)
+        assert at_labeling.same_cluster(addr("v/a"), addr("v/change"))
+        after_reuse = incremental.cluster_as_of(5)
+        assert not after_reuse.same_cluster(addr("v/a"), addr("v/change"))
+        # The clean label survives every horizon.
+        assert after_reuse.same_cluster(addr("u/a"), addr("u/change"))
+
+    def test_dice_exception_keeps_label_alive(self):
+        index = build_chain(_change_world())
+        dice = frozenset({addr("late")})
+        _assert_equivalent_at_every_height(index, dice=dice)
+        incremental = IncrementalClusteringEngine(index, dice_addresses=dice)
+        tip = incremental.cluster_as_of()
+        assert tip.same_cluster(addr("v/a"), addr("v/change"))
+
+    def test_naive_config_never_voids(self):
+        index = build_chain(_change_world())
+        config = Heuristic2Config.naive()
+        _assert_equivalent_at_every_height(index, h2_config=config)
+        incremental = IncrementalClusteringEngine(index, h2_config=config)
+        tip = incremental.cluster_as_of()
+        assert tip.same_cluster(addr("v/a"), addr("v/change"))
+
+
+class TestSimulatedEquivalence:
+    @pytest.fixture(scope="class")
+    def small_world(self):
+        return scenarios.micro_economy(seed=13, n_blocks=60, n_users=8)
+
+    def test_equivalent_at_every_height(self, small_world):
+        _assert_equivalent_at_every_height(small_world.index)
+
+    def test_series_agrees_with_snapshots(self, small_world):
+        incremental = IncrementalClusteringEngine(small_world.index)
+        series = incremental.cluster_count_series()
+        assert len(series) == small_world.index.height + 1
+        for point in series:
+            snap = incremental.snapshot(point.height)
+            assert (
+                point.clusters,
+                point.h1_clusters,
+                point.address_count,
+                point.active_labels,
+            ) == (
+                snap.clusters,
+                snap.h1_clusters,
+                snap.address_count,
+                snap.active_labels,
+            )
+
+    def test_snapshot_restores_tip_state(self, small_world):
+        incremental = IncrementalClusteringEngine(small_world.index)
+        before = incremental.cluster_as_of().clusters()
+        incremental.snapshot(0)
+        incremental.snapshot(small_world.index.height // 2)
+        assert incremental.cluster_as_of().clusters() == before
+
+
+class TestStreaming:
+    def test_blocks_cluster_as_they_arrive(self):
+        source = build_chain(_change_world())
+        target = ChainIndex()
+        engine = IncrementalClusteringEngine(target)
+        batch = ClusteringEngine(target)
+        assert engine.height == -1
+        for height in range(source.height + 1):
+            target.add_block(source.block_at(height))
+            assert engine.height == height
+            live = engine.cluster_as_of()
+            expected = batch.cluster(as_of_height=height)
+            assert _partition(live) == _partition(expected), height
+        # Earlier horizons remain queryable after the chain has grown.
+        assert not engine.cluster_as_of(1).same_cluster(
+            addr("u/a"), addr("u/change")
+        )
+
+    def test_detach_stops_following(self):
+        source = build_chain(_change_world())
+        target = ChainIndex()
+        engine = IncrementalClusteringEngine(target)
+        target.add_block(source.block_at(0))
+        engine.detach()
+        target.add_block(source.block_at(1))
+        assert engine.height == 0
+
+    def test_out_of_order_attach_rejected(self):
+        source = build_chain(_change_world())
+        target = ChainIndex()
+        engine = IncrementalClusteringEngine(target)
+        engine.detach()
+        target.add_block(source.block_at(0))
+        with pytest.raises(ValueError):
+            engine._observe_block(source.block_at(2))
+
+    def test_empty_chain_tip_matches_batch(self):
+        index = ChainIndex()
+        engine = IncrementalClusteringEngine(index)
+        empty = engine.cluster_as_of()
+        batch = ClusteringEngine(index).cluster()
+        assert empty.address_count == batch.address_count == 0
+        assert empty.cluster_count == batch.cluster_count == 0
+        assert engine.snapshot().clusters == 0
+        with pytest.raises(IndexError):
+            engine.cluster_as_of(0)  # explicit heights still range-checked
+
+    def test_height_out_of_range_rejected(self):
+        index = build_chain(_change_world())
+        engine = IncrementalClusteringEngine(index)
+        with pytest.raises(IndexError):
+            engine.snapshot(index.height + 1)
+        with pytest.raises(IndexError):
+            engine.cluster_as_of(-1)

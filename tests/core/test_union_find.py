@@ -1,8 +1,8 @@
-"""Union-find unit + property tests."""
+"""Union-find unit + property tests (generic and array-backed)."""
 
 from hypothesis import given, strategies as st
 
-from repro.core.union_find import UnionFind
+from repro.core.union_find import IntUnionFind, UnionFind
 
 
 class TestBasics:
@@ -63,6 +63,22 @@ class TestBasics:
         assert not uf.connected("a", "b")
         assert clone.connected("a", "b")
 
+    def test_find_root_never_adds(self):
+        uf = UnionFind(["a"])
+        assert uf.find_root("ghost") is None
+        assert len(uf) == 1
+        uf.union("a", "b")
+        assert uf.find_root("b") == uf.find("a")
+
+    def test_component_sizes_matches_components(self):
+        uf = UnionFind(["a", "b", "c", "d"])
+        uf.union("a", "b")
+        uf.union("b", "c")
+        sizes = uf.component_sizes()
+        assert sizes == {
+            root: len(members) for root, members in uf.components().items()
+        }
+
 
 class TestProperties:
     @given(
@@ -103,3 +119,128 @@ class TestProperties:
             members = sorted(component)
             for x in members[1:]:
                 assert uf.connected(members[0], x)
+
+
+class TestIntUnionFind:
+    def test_basics(self):
+        uf = IntUnionFind(4)
+        assert len(uf) == 4
+        assert uf.component_count == 4
+        uf.union(0, 1)
+        assert uf.connected(0, 1)
+        assert not uf.connected(0, 2)
+        assert uf.size_of(1) == 2
+        assert uf.component_count == 3
+        assert 3 in uf and 4 not in uf
+
+    def test_ensure_grows_singletons(self):
+        uf = IntUnionFind()
+        uf.ensure(3)
+        uf.union(0, 2)
+        uf.ensure(2)  # shrinking request is a no-op
+        assert len(uf) == 3
+        assert uf.component_count == 2
+
+    def test_union_many(self):
+        uf = IntUnionFind(5)
+        root = uf.union_many([0, 1, 2, 3])
+        assert uf.size_of(root) == 4
+        assert uf.union_many([]) is None
+        assert uf.union_many([4]) == uf.find(4)
+
+    def test_component_accessors_agree(self):
+        uf = IntUnionFind(6)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        uf.union(4, 5)
+        sizes = uf.component_sizes()
+        components = uf.components()
+        assert sizes == {r: len(m) for r, m in components.items()}
+        assert sum(sizes.values()) == 6
+
+    def test_checkpoint_rollback_restores_state(self):
+        uf = IntUnionFind(6)
+        uf.union(0, 1)
+        token = uf.checkpoint()
+        uf.union(2, 3)
+        uf.union(0, 3)
+        assert uf.connected(1, 2)
+        undone = uf.rollback(token)
+        assert len(undone) == 2
+        assert uf.connected(0, 1)
+        assert not uf.connected(2, 3)
+        assert not uf.connected(1, 2)
+        assert uf.component_count == 5
+        assert uf.size_of(0) == 2
+
+    def test_replay_redoes_rolled_back_unions(self):
+        uf = IntUnionFind(6)
+        uf.union(0, 1)
+        token = uf.checkpoint()
+        uf.union(2, 3)
+        uf.union(0, 3)
+        before = uf.component_sizes()
+        undone = uf.rollback(token)
+        uf.replay(undone)
+        assert uf.component_sizes() == before
+        assert uf.connected(1, 2)
+
+    def test_log_prefix_rebuilds_structure(self):
+        uf = IntUnionFind(8)
+        for a, b in [(0, 1), (2, 3), (1, 3), (5, 6)]:
+            uf.union(a, b)
+        rebuilt = IntUnionFind(8)
+        rebuilt.replay(uf.log_prefix(uf.checkpoint()))
+        assert rebuilt.component_sizes() == uf.component_sizes()
+
+    def test_copy_is_independent(self):
+        uf = IntUnionFind(3)
+        clone = uf.copy()
+        clone.union(0, 1)
+        assert not uf.connected(0, 1)
+        assert clone.connected(0, 1)
+
+
+class TestIntProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 30), st.integers(0, 30)), max_size=80
+        )
+    )
+    def test_matches_generic_union_find(self, unions):
+        """The array-backed structure is the generic one, observably."""
+        int_uf = IntUnionFind(31)
+        generic = UnionFind(range(31))
+        for a, b in unions:
+            int_uf.union(a, b)
+            generic.union(a, b)
+        assert int_uf.component_count == generic.component_count
+        for i in range(31):
+            assert int_uf.size_of(i) == generic.size_of(i)
+        as_sets = lambda components: {
+            frozenset(m) for m in components.values()
+        }
+        assert as_sets(int_uf.components()) == as_sets(generic.components())
+
+    @given(
+        st.lists(
+            st.lists(
+                st.tuples(st.integers(0, 20), st.integers(0, 20)), max_size=12
+            ),
+            max_size=6,
+        )
+    )
+    def test_rollback_is_exact_inverse(self, phases):
+        """Checkpoint before each phase; rolling all phases back in LIFO
+        order restores every intermediate observable state."""
+        uf = IntUnionFind(21)
+        snapshots = []
+        tokens = []
+        for phase in phases:
+            snapshots.append(uf.component_sizes())
+            tokens.append(uf.checkpoint())
+            for a, b in phase:
+                uf.union(a, b)
+        for token, expected in zip(reversed(tokens), reversed(snapshots)):
+            uf.rollback(token)
+            assert uf.component_sizes() == expected

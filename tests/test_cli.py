@@ -16,6 +16,13 @@ class TestSimulateCommand:
         assert "validation OK" in out
         assert list(tmp_path.glob("blk*.dat"))
 
+    def test_timeseries_micro_prints_series(self, capsys):
+        exit_code = main(["timeseries", "--scenario", "micro", "--seed", "3"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "one chain pass" in out
+        assert "H1+H2 clusters" in out
+
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["definitely-not-a-command"])
