@@ -42,6 +42,12 @@ class Peel:
     height: int
     address: str
     value: int
+    address_id: int = -1
+    """Interned id of ``address`` (-1 when the tracker ran against an
+    index without that address interned — never the case for outputs
+    seen by a :class:`~repro.chain.index.ChainIndex`).  Downstream
+    aggregation resolves entities by id; the string is the reporting
+    edge."""
 
 
 @dataclass
@@ -104,6 +110,7 @@ class PeelingTracker:
         the 'small amount peeled, remainder to change' structure §5
         defines.  Set to ``None`` to follow strict H2 only."""
         self.index = index
+        self._interner_id_of = index.interner.id_of
         self.heuristic2 = Heuristic2(
             index,
             h2_config or Heuristic2Config.refined(),
@@ -168,6 +175,7 @@ class PeelingTracker:
                         height=height,
                         address=hop.change_address,
                         value=hop.remaining_value,
+                        address_id=self._peel_id(hop.change_address),
                     )
                 ]
                 hop.change_address = None
@@ -223,17 +231,23 @@ class PeelingTracker:
                 remaining_value=0,
             )
             return None, hop
-        peels = [
-            Peel(
-                hop=hop_number,
-                txid=tx.txid,
-                height=height,
-                address=out.address,
-                value=out.value,
+        peels = []
+        for vout, out in enumerate(tx.outputs):
+            if vout == change_vout:
+                continue
+            address = out.address  # extracted once: base58 decode is hot
+            if address is None:
+                continue
+            peels.append(
+                Peel(
+                    hop=hop_number,
+                    txid=tx.txid,
+                    height=height,
+                    address=address,
+                    value=out.value,
+                    address_id=self._peel_id(address),
+                )
             )
-            for vout, out in enumerate(tx.outputs)
-            if vout != change_vout and out.address is not None
-        ]
         hop = PeelHop(
             hop=hop_number,
             txid=tx.txid,
@@ -244,6 +258,11 @@ class PeelingTracker:
             remaining_value=tx.outputs[change_vout].value,
         )
         return OutPoint(tx.txid, change_vout), hop
+
+    def _peel_id(self, address: str) -> int:
+        """Interned id for a peel recipient (-1 if never interned)."""
+        ident = self._interner_id_of(address)
+        return -1 if ident is None else ident
 
     def _peel_shape_vout(self, tx: Transaction) -> int | None:
         """The remainder output under the peel-shape rule, or None."""
@@ -268,18 +287,25 @@ class ServicePeelSummary:
 
 
 def summarize_peels_by_entity(
-    chain: PeelChain, name_of_address
+    chain: PeelChain, name_of_address, *, name_of_id=None
 ) -> dict[str, ServicePeelSummary]:
     """Aggregate a chain's peels per named recipient entity.
 
     ``name_of_address`` is a callable (typically
     :meth:`repro.tagging.naming.ClusterNaming.name_of_address`) returning
-    an entity name or ``None`` for unnamed recipients.
+    an entity name or ``None`` for unnamed recipients.  Pass
+    ``name_of_id`` (e.g.
+    :meth:`~repro.tagging.naming.ClusterNaming.name_of_address_id`) to
+    resolve interned peels by dense id instead of re-hashing address
+    strings.
     """
     counts: dict[str, int] = {}
     values: dict[str, int] = {}
     for peel in chain.peels:
-        entity = name_of_address(peel.address)
+        if name_of_id is not None and peel.address_id >= 0:
+            entity = name_of_id(peel.address_id)
+        else:
+            entity = name_of_address(peel.address)
         if entity is None:
             continue
         counts[entity] = counts.get(entity, 0) + 1

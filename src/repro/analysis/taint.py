@@ -36,6 +36,66 @@ class TaintResult:
         return self.taint_at_entities.get(entity, 0.0)
 
 
+def taint_step(
+    index: ChainIndex,
+    tx,
+    taint: dict[OutPoint, float],
+    *,
+    name_of_address,
+    min_taint: float,
+    at_entities: dict[str, float],
+) -> list[OutPoint] | None:
+    """Apply one transaction's haircut to a live taint map, in place.
+
+    Returns ``None`` when the transaction spends no tainted outpoint
+    (nothing happened); otherwise the list of outpoints that joined the
+    taint frontier (possibly empty).  Tainted inputs are popped from
+    ``taint``; each output's proportional share either accrues to
+    ``at_entities`` (named address: the subpoena point, propagation
+    stops) or is written back to ``taint`` as a new frontier outpoint.
+    Shares below ``min_taint`` evaporate.  This function *is* the batch
+    tracker's inner loop, shared with the streaming
+    :class:`~repro.service.views.TaintView` so the two cannot drift.
+
+    The untouched case must stay cheap: the streaming view offers every
+    chain transaction to every watched case, so membership is checked
+    with dict pops alone and input values are only resolved once the
+    transaction is known to spend taint.
+    """
+    tainted_in = 0.0
+    touched = False
+    for txin in tx.inputs:
+        if txin.is_coinbase:
+            continue
+        share = taint.pop(txin.prevout, None)
+        if share is not None:
+            touched = True
+            tainted_in += share
+    if not touched:
+        return None
+    frontier: list[OutPoint] = []
+    total_in = sum(
+        index.output(txin.prevout).value
+        for txin in tx.inputs
+        if not txin.is_coinbase
+    )
+    if tainted_in < min_taint or total_in == 0:
+        return frontier
+    ratio = tainted_in / total_in
+    for vout, out in enumerate(tx.outputs):
+        share = out.value * ratio
+        if share < min_taint:
+            continue
+        entity = name_of_address(out.address) if out.address else None
+        if entity is not None:
+            at_entities[entity] = at_entities.get(entity, 0.0) + share
+            continue
+        outpoint = OutPoint(tx.txid, vout)
+        taint[outpoint] = taint.get(outpoint, 0.0) + share
+        frontier.append(outpoint)
+    return frontier
+
+
 class TaintTracker:
     """Haircut taint propagation over a chain index."""
 
@@ -85,28 +145,15 @@ class TaintTracker:
             _height, _pos, txid = heapq.heappop(queue)
             tx = self.index.tx(txid)
             result.txs_processed += 1
-            tainted_in = 0.0
-            total_in = 0
-            for txin in tx.inputs:
-                if txin.is_coinbase:
-                    continue
-                total_in += self.index.output(txin.prevout).value
-                tainted_in += taint.pop(txin.prevout, 0.0)
-            if tainted_in < self.min_taint or total_in == 0:
-                continue
-            ratio = tainted_in / total_in
-            for vout, out in enumerate(tx.outputs):
-                share = out.value * ratio
-                if share < self.min_taint:
-                    continue
-                entity = self.name_of_address(out.address) if out.address else None
-                if entity is not None:
-                    result.taint_at_entities[entity] = (
-                        result.taint_at_entities.get(entity, 0.0) + share
-                    )
-                    continue
-                outpoint = OutPoint(tx.txid, vout)
-                taint[outpoint] = taint.get(outpoint, 0.0) + share
+            frontier = taint_step(
+                self.index,
+                tx,
+                taint,
+                name_of_address=self.name_of_address,
+                min_taint=self.min_taint,
+                at_entities=result.taint_at_entities,
+            )
+            for outpoint in frontier or ():
                 enqueue(outpoint)
         result.taint_by_outpoint = taint
         return result

@@ -85,13 +85,21 @@ class TheftTracker:
         index: ChainIndex,
         *,
         name_of_address=None,
+        name_of_id=None,
         h2_config: Heuristic2Config | None = None,
         dice_addresses: frozenset[str] = frozenset(),
         min_peel_run: int = 2,
         value_peel_threshold: float | None = 0.85,
     ) -> None:
+        """``name_of_id`` is the interned fast path: a callable from
+        dense address id (or ``None``) to entity name, e.g.
+        :meth:`~repro.tagging.naming.ClusterNaming.name_of_address_id`.
+        When given it is preferred over ``name_of_address`` in the
+        classification hot loop (strings stay at the reporting edge)."""
         self.index = index
         self.name_of_address = name_of_address or (lambda _address: None)
+        self.name_of_id = name_of_id
+        self._id_of = index.interner.id_of
         self.heuristic2 = Heuristic2(
             index,
             h2_config or Heuristic2Config.refined(),
@@ -99,6 +107,14 @@ class TheftTracker:
         )
         self.min_peel_run = min_peel_run
         self.value_peel_threshold = value_peel_threshold
+
+    def _entity_of(self, address: str | None) -> str | None:
+        """Recipient entity lookup, through ids when wired for it."""
+        if address is None:
+            return None
+        if self.name_of_id is not None:
+            return self.name_of_id(self._id_of(address))
+        return self.name_of_address(address)
 
     # ------------------------------------------------------------------
     # main entry point
@@ -176,7 +192,7 @@ class TheftTracker:
             # thief mixed in unrelated coins.
             kind = KIND_FOLD if foreign_inputs else KIND_AGGREGATION
             out = tx.outputs[0]
-            entity = self.name_of_address(out.address) if out.address else None
+            entity = self._entity_of(out.address)
             if entity is not None:
                 analysis.recipient_hits.append(
                     ExchangeHit(entity, out.value, tx.txid, height)
@@ -198,7 +214,7 @@ class TheftTracker:
             for vout, out in enumerate(tx.outputs):
                 if vout == change_vout or out.address is None:
                     continue
-                entity = self.name_of_address(out.address)
+                entity = self._entity_of(out.address)
                 if entity is not None:
                     analysis.recipient_hits.append(
                         ExchangeHit(entity, out.value, tx.txid, height)
@@ -207,7 +223,7 @@ class TheftTracker:
         # No identified change: a deliberate split among thief addresses.
         continuations = []
         for vout, out in enumerate(tx.outputs):
-            entity = self.name_of_address(out.address) if out.address else None
+            entity = self._entity_of(out.address)
             if entity is not None:
                 analysis.recipient_hits.append(
                     ExchangeHit(entity, out.value, tx.txid, height)

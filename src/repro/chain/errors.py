@@ -48,6 +48,12 @@ class BlockStructureError(ValidationError):
     """Raised on malformed blocks (bad coinbase placement, merkle mismatch...)."""
 
 
+class NonMonotonicTimestampError(ChainError):
+    """Raised when a streaming consumer that relies on non-decreasing
+    block timestamps (the §4.2 wait-window clamp) observes a block whose
+    timestamp runs backwards."""
+
+
 class UnknownTransactionError(ChainError, KeyError):
     """Raised when a txid lookup misses the index."""
 

@@ -128,6 +128,10 @@ class ChainIndex:
         # Per-tx input address ids (dedup'd, insertion-ordered), memoized:
         # the heuristics resolve the same transaction's senders many times.
         self._input_ids: dict[bytes, tuple[int, ...]] = {}
+        # Per-tx output address ids (position-aligned, -1 for exotic
+        # scripts), memoized: every streaming view credits the same
+        # outputs, and script → address extraction is the hot part.
+        self._output_ids: dict[bytes, tuple[int, ...]] = {}
         self._observers: list[Callable[[Block], None]] = []
 
     # ------------------------------------------------------------------
@@ -145,15 +149,43 @@ class ChainIndex:
         for i, tx in enumerate(block.transactions):
             self._add_tx(tx, block, i)
         self._blocks.append(block)
-        for observer in self._observers:
-            observer(block)
+        self._notify_observers(block)
+
+    def _notify_observers(self, block: Block) -> None:
+        """Fan the block out to every observer registered when ingestion
+        finished, in registration order.
+
+        The observer list is snapshotted first, so a callback that
+        subscribes or unsubscribes mid-fan-out cannot skip or double-
+        deliver this block (late subscribers start at the *next* block).
+        A raising observer does not starve the ones after it: every
+        observer is notified before the first exception propagates to the
+        ``add_block`` caller.
+        """
+        errors: list[BaseException] = []
+        for observer in tuple(self._observers):
+            try:
+                observer(block)
+            except Exception as exc:  # noqa: BLE001 — isolate per observer
+                errors.append(exc)
+        if errors:
+            first = errors[0]
+            for later in errors[1:]:
+                first.add_note(
+                    f"additional observer failure at height {block.height}: "
+                    f"{later!r}"
+                )
+            raise first
 
     def subscribe(self, observer: Callable[[Block], None]) -> Callable[[], None]:
         """Register a per-block observer; returns an unsubscribe callable.
 
         Observers are called after each block is fully ingested (index
-        queries see the block), in subscription order.  This is the hook
-        the incremental clustering engine streams from.
+        queries see the block), in registration order, each exactly once
+        per block.  This is the hook the incremental clustering engine
+        and the service layer's materialized views stream from; see
+        :meth:`_notify_observers` for the fan-out contract under
+        mid-callback (un)subscription and observer exceptions.
         """
         self._observers.append(observer)
 
@@ -359,6 +391,42 @@ class ChainIndex:
         if txid in self._txs:
             self._input_ids[txid] = ids
         return ids
+
+    def output_address_ids(self, tx: Transaction) -> tuple[int, ...]:
+        """Interned ids of a transaction's output addresses, aligned with
+        ``tx.outputs`` (-1 for outputs with no extractable address).
+
+        Memoized per txid for transactions in the index: the service
+        layer's materialized views (balances, activity) each credit the
+        same outputs per block, and script → address extraction is the
+        expensive part of that loop.
+
+        For a transaction *not* in the index, addresses are resolved
+        without allocating (-1 also covers never-interned addresses):
+        interning here would inject phantom ids into the dense
+        first-sight id space the per-height snapshot universes rely on.
+        """
+        txid = tx.txid
+        cached = self._output_ids.get(txid)
+        if cached is not None:
+            return cached
+        if txid in self._txs:
+            # Ingestion already interned every output address; intern()
+            # is a pure lookup here.
+            intern = self._interner.intern
+            ids = tuple(
+                -1 if out.address is None else intern(out.address)
+                for out in tx.outputs
+            )
+            self._output_ids[txid] = ids
+            return ids
+        id_of = self._interner.id_of
+        ids = []
+        for out in tx.outputs:
+            address = out.address
+            ident = id_of(address) if address is not None else None
+            ids.append(-1 if ident is None else ident)
+        return tuple(ids)
 
     def input_addresses(self, tx: Transaction) -> list[str]:
         """Addresses owning the outputs a transaction spends (deduplicated,

@@ -11,22 +11,38 @@ Commands map one-to-one onto the paper's experiments::
     python -m repro figure2             # category balances (ASCII chart)
     python -m repro ablation            # H2 refinement ablation
     python -m repro simulate --out DIR  # write a world as blk*.dat files
+    python -m repro query cluster-of 1Abc...   # one-shot forensics query
+    python -m repro serve --generate 200       # serve a query workload
 
 ``timeseries`` runs the incremental streaming engine: one pass over the
 chain yields the H1 / H1+H2 cluster counts and live change-label count
 at *every* height (``--scenario`` picks the world, as for ``simulate``),
 instead of re-clustering per cutoff.
+
+``query`` and ``serve`` exercise the forensics query service (the
+serving layer over the incremental engine + materialized views):
+
+* ``repro query <kind> <args...>`` answers one query against a freshly
+  built service — kinds are ``cluster-of ADDR``, ``balance-of ADDR``,
+  ``cluster-balance ADDR``, ``cluster-profile ADDR``,
+  ``top-clusters [N] [size|balance|activity]``, ``trace-taint LABEL``.
+* ``repro serve`` replays a whole workload from warm state: either a
+  script file (``--script FILE``, one query per line, ``#`` comments)
+  or a generated mixed stream (``--generate N``); ``--dump FILE``
+  writes the workload it ran so it can be replayed verbatim later.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 
 from . import experiments
 from .chain.blockfile import BlockFileWriter
 from .chain.validation import validate_chain
+from .service import ForensicsService, format_answer, parse_query
 from .simulation import scenarios
 
 _SCENARIOS = {
@@ -67,6 +83,51 @@ def _build_parser() -> argparse.ArgumentParser:
     series.add_argument("--scenario", choices=sorted(_SCENARIOS), default="default")
     series.add_argument("--seed", type=int, default=0)
 
+    query = sub.add_parser(
+        "query",
+        help="one-shot forensics query against the serving layer",
+    )
+    query.add_argument("--scenario", choices=sorted(_SCENARIOS), default="default")
+    query.add_argument("--seed", type=int, default=0)
+    query.add_argument(
+        "tokens",
+        nargs="+",
+        metavar="QUERY",
+        help="e.g. 'top-clusters 10 balance' or 'cluster-of <address>'",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="replay a query workload from warm materialized views",
+    )
+    serve.add_argument("--scenario", choices=sorted(_SCENARIOS), default="default")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--script",
+        type=Path,
+        default=None,
+        help="workload file: one query per line (# comments allowed)",
+    )
+    serve.add_argument(
+        "--generate",
+        type=int,
+        default=200,
+        metavar="N",
+        help="generate an N-query mixed workload (ignored with --script)",
+    )
+    serve.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="extra memoized replay passes after the first",
+    )
+    serve.add_argument(
+        "--dump",
+        type=Path,
+        default=None,
+        help="write the executed workload as a replayable script",
+    )
+
     sim = sub.add_parser("simulate", help="generate a world and write block files")
     sim.add_argument("--scenario", choices=sorted(_SCENARIOS), default="default")
     sim.add_argument("--seed", type=int, default=0)
@@ -76,6 +137,16 @@ def _build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--scenario", choices=sorted(_SCENARIOS), default="micro")
     stats.add_argument("--seed", type=int, default=0)
     return parser
+
+
+def _load_workload_script(path: Path):
+    """Parse a workload file: one query per line, ``#`` comments."""
+    queries = []
+    for line in path.read_text().splitlines():
+        line = line.split("#", 1)[0].strip()
+        if line:
+            queries.append(parse_query(line.split()))
+    return queries
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -98,6 +169,58 @@ def main(argv: list[str] | None = None) -> int:
     elif args.command == "timeseries":
         world = _SCENARIOS[args.scenario](seed=args.seed)
         print(experiments.run_cluster_timeseries(world).report)
+    elif args.command == "query":
+        world = _SCENARIOS[args.scenario](seed=args.seed)
+        service = ForensicsService.from_world(world)
+        query = parse_query(args.tokens)
+        start = time.perf_counter()
+        answer = service.answer(query)
+        elapsed = time.perf_counter() - start
+        print(format_answer(query, answer))
+        print(
+            f"[{args.scenario} @ height {service.height}, "
+            f"answered warm in {elapsed * 1e3:.2f}ms]"
+        )
+    elif args.command == "serve":
+        world = _SCENARIOS[args.scenario](seed=args.seed)
+        service = ForensicsService.from_world(world)
+        if args.script is not None:
+            queries = _load_workload_script(args.script)
+            if not service.taint.labels and any(
+                q.kind == "trace_taint" for q in queries
+            ):
+                # Scripts dumped from generated workloads reference the
+                # deterministic case-N labels; re-watch them.
+                experiments.watch_synthetic_thefts(service)
+            start = time.perf_counter()
+            service.answer_many(queries)
+            first = time.perf_counter() - start
+            start = time.perf_counter()
+            for _ in range(max(1, args.repeat)):
+                service.answer_many(queries)
+            repeat = (time.perf_counter() - start) / max(1, args.repeat)
+            print(
+                f"replayed {len(queries)} queries from {args.script}: "
+                f"{first:.4f}s cold memo, {repeat:.4f}s memoized "
+                f"(hit rate {service.cache.hit_rate:.1%})"
+            )
+        else:
+            result = experiments.run_query_workload(
+                world,
+                seed=args.seed,
+                n_queries=args.generate,
+                repeats=max(1, args.repeat),
+                service=service,
+            )
+            queries = result.queries
+            print(result.report)
+        if args.dump is not None:
+            lines = [
+                " ".join(str(part) for part in (query.kind, *query.args))
+                for query in queries
+            ]
+            args.dump.write_text("\n".join(lines) + "\n")
+            print(f"workload written to {args.dump}")
     elif args.command == "stats":
         from .chain.stats import compute_statistics, format_statistics
 

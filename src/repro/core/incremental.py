@@ -29,14 +29,22 @@ Equivalence contract (tested property-style): for every height ``h``,
 as ``ClusteringEngine.cluster(as_of_height=h)``.  The contract assumes
 non-decreasing block timestamps (true of all simulated worlds): with
 time running backwards a receive could fall outside one horizon's
-wait-window clamp while being inside a later one.
+wait-window clamp while being inside a later one.  When the wait rule
+is configured, the engine *enforces* that assumption: a block whose
+timestamp precedes its predecessor's raises
+:class:`~repro.chain.errors.NonMonotonicTimestampError` instead of
+silently mislabeling (the block is left unclustered; with
+``wait_seconds=None`` no clamp exists and non-monotone stamps are
+accepted).
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import OrderedDict
 from dataclasses import dataclass
 
+from ..chain.errors import NonMonotonicTimestampError
 from ..chain.index import ChainIndex
 from ..chain.model import Block
 from .clustering import Clustering, InternedPartition
@@ -127,6 +135,20 @@ class IncrementalClusteringEngine:
         """(deadline, seq, label) min-heap: expired watch entries are
         swept out as block time passes, so the watch set stays bounded
         by the labels whose windows are genuinely open."""
+        self._last_timestamp: int | None = None
+        """Previous block's timestamp, for the monotonicity check."""
+        self._refused_height: int | None = None
+        """Height of the block the monotonicity check rejected, if any:
+        the engine is permanently behind the index from that point, so
+        every later block is refused with a diagnosis instead of a
+        misleading out-of-order error."""
+        self._as_of_cache: OrderedDict[int, Clustering] = OrderedDict()
+        """Recently materialized ``cluster_as_of`` answers, keyed by
+        height.  Sound because a height's answer is immutable once the
+        height has been clustered: later blocks only append, and a
+        wait-rule void recorded at ``v`` never changes ``active_at(h)``
+        for ``h < v``.  This is what lets a serving layer ask for the
+        tip clustering per query without re-materializing."""
         self._unsubscribe = None
         for block in index.blocks:
             self._observe_block(block)
@@ -150,6 +172,12 @@ class IncrementalClusteringEngine:
 
     def _observe_block(self, block: Block) -> None:
         height = block.height
+        if self._refused_height is not None:
+            raise NonMonotonicTimestampError(
+                f"engine stopped at height {len(self._marks) - 1} after "
+                f"refusing non-monotonic block {self._refused_height}; "
+                f"detach() and rebuild to cluster this chain"
+            )
         if height != len(self._marks):
             raise ValueError(
                 f"blocks must stream in order: expected height "
@@ -162,7 +190,18 @@ class IncrementalClusteringEngine:
         watching = self.h2_config.wait_seconds is not None
         now = block.header.timestamp
         if watching:
+            # The wait-window clamp assumes chain time never runs
+            # backwards; refuse the block rather than mislabel (§4.2).
+            if self._last_timestamp is not None and now < self._last_timestamp:
+                self._refused_height = height
+                raise NonMonotonicTimestampError(
+                    f"block {height} timestamp {now} precedes previous "
+                    f"block's {self._last_timestamp}; the §4.2 wait rule "
+                    f"requires non-decreasing timestamps (use "
+                    f"wait_seconds=None to cluster such chains)"
+                )
             self._sweep_expired_watches(now)
+        self._last_timestamp = now
         for tx in block.transactions:
             # 1. Wait-rule voiding: a receive to a watched candidate at a
             #    *later* height, inside its window, kills the label —
@@ -324,7 +363,10 @@ class IncrementalClusteringEngine:
 
         Replays the H1 merge log up to the height's checkpoint onto a
         fresh structure over the prefix universe, then applies the
-        change links active at that horizon.
+        change links active at that horizon.  The last few materialized
+        answers are memoized per height (immutable once clustered, so
+        reuse is exact); heavy query traffic against a fixed tip pays
+        the materialization once.
         """
         height = self._check_height(height)
         if height is None:
@@ -333,6 +375,10 @@ class IncrementalClusteringEngine:
                 heuristics="h1+h2",
                 h2_result=Heuristic2Result(),
             )
+        cached = self._as_of_cache.get(height)
+        if cached is not None:
+            self._as_of_cache.move_to_end(height)
+            return cached
         uf = IntUnionFind(self._seen[height])
         uf.replay(self._uf.log_prefix(self._marks[height]))
         active = self._active_labels(height)
@@ -340,11 +386,19 @@ class IncrementalClusteringEngine:
         for live in active:
             if live.input_id is not None:
                 uf.union(live.address_id, live.input_id)
-        return Clustering(
+        clustering = Clustering(
             uf=InternedPartition(uf, self.index.interner),
             heuristics="h1+h2",
             h2_result=result,
         )
+        self._as_of_cache[height] = clustering
+        while len(self._as_of_cache) > self._AS_OF_CACHE_SIZE:
+            self._as_of_cache.popitem(last=False)
+        return clustering
+
+    _AS_OF_CACHE_SIZE = 4
+    """Materialized horizons kept around; each holds an O(addresses)
+    structure, so the memo is deliberately tiny."""
 
     def cluster_count_series(self) -> list[ClusterSnapshot]:
         """Cluster counts at *every* height, in one forward sweep.

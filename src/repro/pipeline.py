@@ -22,6 +22,7 @@ from .core.clustering import Clustering, ClusteringEngine
 from .core.fp_estimation import FalsePositiveEstimator
 from .core.heuristic2 import Heuristic2Config, dice_addresses_from_tags
 from .core.incremental import IncrementalClusteringEngine
+from .service.service import ForensicsService
 from .simulation.economy import World
 from .simulation.params import DICE_GAMES, FIGURE2_CATEGORIES
 from .tagging.naming import ClusterNaming
@@ -86,6 +87,20 @@ class AnalystView:
         )
 
     @cached_property
+    def service(self) -> ForensicsService:
+        """The serving layer over this world's chain: incremental engine
+        + materialized views + cached query API, pre-wired with the
+        analyst's tags (thefts in the world's script are watched by
+        :meth:`ForensicsService.from_world`; build directly when you
+        need that)."""
+        return ForensicsService(
+            self.world.index,
+            tags=self.tags,
+            h2_config=self.h2_config,
+            dice_addresses=self.dice_addresses,
+        )
+
+    @cached_property
     def clustering(self) -> Clustering:
         """H1 + configured H2 clustering of the whole chain."""
         return self.engine.cluster()
@@ -116,8 +131,14 @@ class AnalystView:
         return PeelingTracker(self.world.index, **kwargs)
 
     def theft_tracker(self, **kwargs) -> TheftTracker:
-        """A Table 3 theft tracker wired to this view's naming."""
-        kwargs.setdefault("name_of_address", self.naming.name_of_address)
+        """A Table 3 theft tracker wired to this view's naming (the
+        id-keyed fast path; strings only at the reporting edge).  A
+        caller-supplied ``name_of_address`` takes over completely — the
+        id fast path is only injected alongside our own naming, since
+        the tracker prefers ``name_of_id`` whenever it is set."""
+        if "name_of_address" not in kwargs:
+            kwargs.setdefault("name_of_address", self.naming.name_of_address)
+            kwargs.setdefault("name_of_id", self.naming.name_of_address_id)
         kwargs.setdefault("h2_config", self.h2_config)
         kwargs.setdefault("dice_addresses", self.dice_addresses)
         return TheftTracker(self.world.index, **kwargs)
@@ -130,8 +151,15 @@ class AnalystView:
             ground_truth=self.world.ground_truth if with_ground_truth else None,
         )
 
-    def balance_series(self, *, samples: int = 60) -> BalanceSeries:
-        """Figure 2's category balance series, from the analyst's view."""
+    def balance_series(
+        self, *, samples: int = 60, streaming: bool = False
+    ) -> BalanceSeries:
+        """Figure 2's category balance series, from the analyst's view.
+
+        ``streaming=True`` replays the serving layer's warm
+        :class:`~repro.service.views.BalanceView` event log instead of
+        re-walking the chain (identical output, property-tested).
+        """
         categories = {
             entity: self.world.ground_truth.category_of(entity)
             for entity in self.known_service_names
@@ -141,6 +169,7 @@ class AnalystView:
             name_of_address=self.naming.name_of_address,
             category_of_entity=lambda entity: categories.get(entity),
             categories=FIGURE2_CATEGORIES,
+            view=self.service.balances if streaming else None,
         )
         return analyzer.series(samples=samples)
 

@@ -5,6 +5,16 @@ format mirrors the paper: Table 1's roster by category, §4's cluster
 counts, the §4.2 false-positive ladder, Table 2's peel counts per
 service per chain, Table 3's theft movements, and Figure 2's balance
 series (as an ASCII chart — we are a terminal-first library).
+
+The serving layer reports here too: :func:`render_query_workload`
+summarizes a ``repro serve`` run (query mix, warm/memoized pass
+timings, cache hit rate).  The query API it reports on — ``cluster_of``
+/ ``balance_of`` / ``cluster_balance`` / ``trace_taint`` /
+``top_clusters`` / ``cluster_profile``, answered from streaming
+materialized views with a height-keyed LRU — is documented in
+``repro/service/queries.py``; the CLI surface is ``repro query <kind>
+<args>`` (one-shot) and ``repro serve [--script FILE | --generate N]``
+(workload replay).
 """
 
 from __future__ import annotations
@@ -159,6 +169,38 @@ def render_timeseries(
             rows,
         )
     )
+    return "\n".join(lines)
+
+
+def render_query_workload(
+    result, *, title: str = "Forensics query service workload"
+) -> str:
+    """Serving summary for one workload run: mix, timing, cache."""
+    rows = [
+        [kind, count]
+        for kind, count in sorted(result.kind_counts.items())
+    ]
+    total = len(result.queries)
+    report = render_table(["query kind", "count"], rows, title=title)
+    first = result.first_pass_seconds
+    repeat = result.repeat_pass_seconds
+    cache = result.cache_stats
+    stats = result.service_stats
+    lines = [
+        report,
+        f"chain height: {stats['height']}  "
+        f"addresses: {stats['addresses']}  "
+        f"taint cases: {stats['taint_cases']}",
+        f"warm views, cold memo: {total} queries in {first:.4f}s "
+        f"({total / first:,.0f} q/s)" if first else
+        f"warm views, cold memo: {total} queries",
+        f"memoized repeat:       {total} queries in {repeat:.4f}s "
+        f"({total / repeat:,.0f} q/s)" if repeat else
+        f"memoized repeat:       {total} queries",
+        f"cache: {cache['entries']} entries, "
+        f"hit rate {cache['hit_rate']:.1%} "
+        f"({cache['hits']} hits / {cache['misses']} misses)",
+    ]
     return "\n".join(lines)
 
 

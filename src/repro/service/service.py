@@ -1,0 +1,187 @@
+"""The forensics query service: warm views + cached query API.
+
+:class:`ForensicsService` is the serving layer the ROADMAP's
+production-scale north star asks for.  It owns one
+:class:`~repro.core.incremental.IncrementalClusteringEngine` and the
+three streaming materialized views, all attached to the same
+:meth:`ChainIndex.subscribe <repro.chain.index.ChainIndex.subscribe>`
+fan-out, so every ``add_block``:
+
+1. clusters the block incrementally (H1 unions + live H2 labels),
+2. folds balances, taint frontiers, and activity into warm state,
+3. implicitly invalidates the query cache (answers are keyed by
+   height).
+
+Queries then run against warm state instead of re-walking the chain:
+``cluster_of`` reads the memoized tip partition, ``balance_of`` indexes
+a dense array, ``trace_taint`` snapshots a live frontier, and the
+cluster aggregates behind ``top_clusters``/``cluster_profile`` are
+built once per height and shared.  ``benchmarks/bench_query_service.py``
+pins the payoff: a mixed 100+-query workload answered warm beats the
+equivalent cold batch recomputations by well over an order of
+magnitude.
+
+Construction catches up on whatever the index already holds, so the
+service can be stood up against a fully ingested chain or attached at
+genesis and fed block by block — both end in identical state (the
+view == batch property tests stream exactly this way).
+"""
+
+from __future__ import annotations
+
+from ..chain.index import ChainIndex
+from ..core.clustering import Clustering
+from ..core.heuristic2 import Heuristic2Config, dice_addresses_from_tags
+from ..core.incremental import IncrementalClusteringEngine
+from ..tagging.naming import ClusterNaming
+from ..tagging.tags import TagStore
+from .cache import QueryCache
+from .queries import Query, QueryEngine
+from .views import ActivityView, BalanceView, TaintView
+
+
+class ForensicsService:
+    """Serves forensics queries from streaming materialized state."""
+
+    def __init__(
+        self,
+        index: ChainIndex,
+        *,
+        tags: TagStore | None = None,
+        h2_config: Heuristic2Config | None = None,
+        dice_addresses: frozenset[str] = frozenset(),
+        name_of_address=None,
+        min_taint: float = 1.0,
+        cache_size: int = 4096,
+    ) -> None:
+        """``tags`` drives cluster naming (profiles, top-cluster labels)
+        and, unless ``name_of_address`` overrides it, the taint stop
+        condition.  The taint namer must be *stable over chain growth*
+        for streamed state to equal batch recomputation, so it defaults
+        to direct tag lookups — not height-dependent cluster naming.
+        """
+        self.index = index
+        self.tags = tags
+        self.engine = IncrementalClusteringEngine(
+            index, h2_config=h2_config, dice_addresses=dice_addresses
+        )
+        self.balances = BalanceView(index)
+        self.activity = ActivityView(index)
+        tag_map = tags.as_mapping() if tags is not None else {}
+        self.taint = TaintView(
+            index,
+            name_of_address=name_of_address or tag_map.get,
+            min_taint=min_taint,
+        )
+        self.cache = QueryCache(cache_size)
+        self.queries = QueryEngine(self)
+
+    @classmethod
+    def from_world(
+        cls,
+        world,
+        *,
+        include_public_tags: bool = True,
+        crawl_seed: int = 0,
+        **kwargs,
+    ) -> "ForensicsService":
+        """Stand the service up the way an analyst would against a
+        simulated :class:`~repro.simulation.economy.World`: attack tags
+        (+ optional public crawl) for naming and the dice exception, and
+        a watched taint case per scripted theft.
+        """
+        from ..simulation.params import DICE_GAMES
+        from ..tagging.sources import PublicTagCrawl
+
+        attack = world.extras.get("attack")
+        tags = attack.tags if attack is not None else TagStore()
+        if include_public_tags:
+            tags = tags.merged_with(PublicTagCrawl(world, seed=crawl_seed).crawl())
+        kwargs.setdefault(
+            "dice_addresses", dice_addresses_from_tags(tags, DICE_GAMES)
+        )
+        service = cls(world.index, tags=tags, **kwargs)
+        for theft in world.extras.get("thefts", ()):
+            service.watch_theft(
+                theft.record.spec.name, theft.record.theft_txids
+            )
+        return service
+
+    # ------------------------------------------------------------------
+    # state
+    # ------------------------------------------------------------------
+
+    @property
+    def height(self) -> int:
+        """Chain tip height (-1 when empty); the cache key component."""
+        return self.index.height
+
+    @property
+    def clustering(self) -> Clustering:
+        """The tip clustering (memoized per height inside the engine)."""
+        return self.engine.cluster_as_of()
+
+    def build_naming(self) -> ClusterNaming | None:
+        """Cluster naming over the tip clustering, or ``None`` without
+        tags.  Cached per height by the query engine — call through
+        queries, not per lookup."""
+        if self.tags is None:
+            return None
+        return ClusterNaming(self.clustering, self.tags)
+
+    def watch_theft(self, label: str, theft_txids) -> None:
+        """Register a theft case: taint every output of the given
+        transactions and keep the frontier warm from here on."""
+        self.taint.watch_txs(label, list(theft_txids))
+
+    def detach(self) -> None:
+        """Stop following the index (state freezes at current height)."""
+        self.engine.detach()
+        self.balances.detach()
+        self.activity.detach()
+        self.taint.detach()
+
+    # ------------------------------------------------------------------
+    # the query API (see service/queries.py for answer shapes)
+    # ------------------------------------------------------------------
+
+    def answer(self, query: Query):
+        """Answer one :class:`~repro.service.queries.Query`."""
+        return self.queries.answer(query)
+
+    def answer_many(self, queries: list[Query]) -> list:
+        """Batch entrypoint: answers in input order, grouped by kind."""
+        return self.queries.answer_many(queries)
+
+    def cluster_of(self, address: str):
+        """Cluster root id for an address, or ``None`` if never seen."""
+        return self.answer(Query("cluster_of", (address,)))
+
+    def balance_of(self, address: str) -> int:
+        """Satoshis the address holds at the tip."""
+        return self.answer(Query("balance_of", (address,)))
+
+    def cluster_balance(self, address: str) -> int | None:
+        """Satoshis held by the whole cluster containing ``address``."""
+        return self.answer(Query("cluster_balance", (address,)))
+
+    def trace_taint(self, label: str) -> dict:
+        """Warm taint summary for a watched theft case."""
+        return self.answer(Query("trace_taint", (label,)))
+
+    def top_clusters(self, n: int = 10, by: str = "size") -> tuple:
+        """The ``n`` largest clusters by ``size``/``balance``/``activity``."""
+        return self.answer(Query("top_clusters", (n, by)))
+
+    def cluster_profile(self, address: str) -> dict | None:
+        """Everything warm about one address's cluster."""
+        return self.answer(Query("cluster_profile", (address,)))
+
+    def stats(self) -> dict:
+        """Serving metrics: height, watched cases, cache accounting."""
+        return {
+            "height": self.height,
+            "addresses": self.index.address_count,
+            "taint_cases": len(self.taint.labels),
+            **{f"cache_{k}": v for k, v in self.cache.stats().items()},
+        }

@@ -1,0 +1,403 @@
+"""Streaming materialized views over a :class:`~repro.chain.index.ChainIndex`.
+
+The forensics questions of §5 — "what does this address hold *now*, who
+else holds with it, where did the stolen coins go?" — used to be batch
+recomputations: every answer re-walked the chain.  Each view here
+instead attaches to :meth:`ChainIndex.subscribe
+<repro.chain.index.ChainIndex.subscribe>` and folds every new block
+into warm state the moment it is ingested, so the
+:class:`~repro.service.service.ForensicsService` answers from O(1)-ish
+lookups:
+
+* :class:`BalanceView` — per-address balances (dense arrays keyed by
+  interned id), per-height coinbase issuance, and the compact
+  ``(address id, delta)`` event log that Figure 2's category series is
+  rebuilt from without touching a single transaction again.
+* :class:`TaintView` — live haircut-taint frontiers for any number of
+  watched theft cases, advanced per block by the *same*
+  :func:`~repro.analysis.taint.taint_step` the batch
+  :class:`~repro.analysis.taint.TaintTracker` runs, so streamed state
+  provably equals a from-scratch propagation at every height.
+* :class:`ActivityView` — per-address transaction incidence counts and
+  first/last-seen heights, the raw material for per-cluster activity
+  profiles and supercluster/chokepoint queries.
+
+Every view follows the incremental engine's contract: construction
+catches up on blocks the index already holds, then streams; ``detach``
+stops following.  The equivalence property (view state at height ``h``
+== batch recomputation over the ``h``-prefix) is pinned by
+``tests/service/test_views.py`` in the same style as the PR 1
+incremental==batch clustering test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.taint import TaintResult, TaintTracker, taint_step
+from ..chain.index import ChainIndex
+from ..chain.model import Block, OutPoint
+
+
+class MaterializedView:
+    """Base class: catch-up, ordered streaming, detach.
+
+    Subclasses implement :meth:`_apply_block`; the base class guarantees
+    it sees every block exactly once, in height order (out-of-order
+    delivery raises, mirroring the incremental clustering engine).
+    """
+
+    def __init__(self, index: ChainIndex, *, follow: bool = True) -> None:
+        self.index = index
+        self._height = -1
+        self._unsubscribe = None
+        for block in index.blocks:
+            self._observe_block(block)
+        if follow:
+            self._unsubscribe = index.subscribe(self._observe_block)
+
+    @property
+    def height(self) -> int:
+        """Last height folded into the view (-1 before any block)."""
+        return self._height
+
+    def detach(self) -> None:
+        """Stop observing the index (materialized state remains)."""
+        if self._unsubscribe is not None:
+            self._unsubscribe()
+            self._unsubscribe = None
+
+    def _observe_block(self, block: Block) -> None:
+        if block.height != self._height + 1:
+            raise ValueError(
+                f"blocks must stream in order: expected height "
+                f"{self._height + 1}, got {block.height}"
+            )
+        self._apply_block(block)
+        self._height = block.height
+
+    def _apply_block(self, block: Block) -> None:
+        raise NotImplementedError
+
+
+class BalanceView(MaterializedView):
+    """Per-address balances + the per-height delta log, streamed.
+
+    Replaces the chain re-walk in
+    :meth:`~repro.analysis.balances.BalanceAnalyzer.series`: instead of
+    iterating every address record and every block per call, the
+    analyzer replays this view's compact event log (pass the view via
+    ``BalanceAnalyzer(..., view=...)``).  Point queries
+    (:meth:`balance_of`, :meth:`cluster_balances`) read the dense
+    balance array directly.
+    """
+
+    def __init__(self, index: ChainIndex, *, follow: bool = True) -> None:
+        self._balances: list[int] = []
+        """Current balance per interned address id."""
+        self._events: list[list[tuple[int, int]]] = []
+        """Per height: ``(address id, signed delta)`` in fold order."""
+        self._coinbase: list[int] = []
+        """Coins issued at each height."""
+        self._supply: list[int] = []
+        """Cumulative issuance by each height."""
+        super().__init__(index, follow=follow)
+
+    def _apply_block(self, block: Block) -> None:
+        index = self.index
+        balances = self._balances
+        events: list[tuple[int, int]] = []
+        minted = 0
+        for tx in block.transactions:
+            if tx.is_coinbase:
+                minted += tx.total_output_value
+            else:
+                for txin in tx.inputs:
+                    prevout = txin.prevout
+                    prev_tx = index.tx(prevout.txid)
+                    ident = index.output_address_ids(prev_tx)[prevout.vout]
+                    if ident >= 0:
+                        events.append((ident, -prev_tx.outputs[prevout.vout].value))
+            out_ids = index.output_address_ids(tx)
+            for out, ident in zip(tx.outputs, out_ids):
+                if ident >= 0:
+                    events.append((ident, out.value))
+        for ident, delta in events:
+            if ident >= len(balances):
+                balances.extend([0] * (ident + 1 - len(balances)))
+            balances[ident] += delta
+        self._events.append(events)
+        self._coinbase.append(minted)
+        self._supply.append((self._supply[-1] if self._supply else 0) + minted)
+
+    # -- point queries -------------------------------------------------
+
+    def balance_of_id(self, ident: int) -> int:
+        """Current balance of an interned address id (0 if never seen)."""
+        if 0 <= ident < len(self._balances):
+            return self._balances[ident]
+        return 0
+
+    def balance_of(self, address: str) -> int:
+        """Current balance of an address string (reporting edge)."""
+        ident = self.index.interner.id_of(address)
+        return 0 if ident is None else self.balance_of_id(ident)
+
+    @property
+    def supply(self) -> int:
+        """Total coins issued by the view's height."""
+        return self._supply[-1] if self._supply else 0
+
+    def supply_at(self, height: int) -> int:
+        """Cumulative issuance by ``height``."""
+        return self._supply[height]
+
+    def coinbase_at(self, height: int) -> int:
+        """Coins issued at exactly ``height``."""
+        return self._coinbase[height]
+
+    def events_at(self, height: int) -> list[tuple[int, int]]:
+        """The ``(address id, delta)`` log for one height."""
+        return self._events[height]
+
+    def cluster_balances(self, partition) -> dict[int, int]:
+        """``cluster root -> summed member balance`` in one array pass.
+
+        ``partition`` is an
+        :class:`~repro.core.clustering.InternedPartition` (or anything
+        with an id-keyed ``find_root``); addresses the partition has not
+        seen keep their balance out of every cluster.
+        """
+        find_root = partition.find_root
+        out: dict[int, int] = {}
+        for ident, balance in enumerate(self._balances):
+            if not balance:
+                continue
+            root = find_root(ident)
+            if root is None:
+                continue
+            out[root] = out.get(root, 0) + balance
+        return out
+
+
+@dataclass
+class TaintCase:
+    """One watched theft: live frontier plus arrival accounting."""
+
+    label: str
+    sources: tuple[OutPoint, ...]
+    initial_taint: int
+    taint: dict[OutPoint, float] = field(default_factory=dict)
+    at_entities: dict[str, float] = field(default_factory=dict)
+    txs_processed: int = 0
+
+    def as_result(self) -> TaintResult:
+        """Snapshot the case as a batch-shaped
+        :class:`~repro.analysis.taint.TaintResult`."""
+        return TaintResult(
+            initial_taint=self.initial_taint,
+            taint_by_outpoint=dict(self.taint),
+            taint_at_entities=dict(self.at_entities),
+            txs_processed=self.txs_processed,
+        )
+
+
+class TaintView(MaterializedView):
+    """Incremental haircut-taint propagation for watched theft cases.
+
+    :meth:`watch` registers a case: a catch-up propagation (the batch
+    :class:`~repro.analysis.taint.TaintTracker`) brings it level with
+    the chain tip, after which every new block's transactions are folded
+    through :func:`~repro.analysis.taint.taint_step` — the identical
+    inner loop, so streamed case state equals a fresh batch propagation
+    at every height.  ``name_of_address`` must be stable over time for
+    that equivalence to hold (the service wires direct tag lookups, not
+    height-dependent cluster naming).
+    """
+
+    def __init__(
+        self,
+        index: ChainIndex,
+        *,
+        name_of_address=None,
+        min_taint: float = 1.0,
+        follow: bool = True,
+    ) -> None:
+        self.name_of_address = name_of_address or (lambda _a: None)
+        self.min_taint = min_taint
+        self._cases: dict[str, TaintCase] = {}
+        self.epoch = 0
+        """Bumped on every :meth:`watch`: taint answers depend on the
+        watch set as well as the chain height, so caches key on
+        ``(height, epoch)`` — (re)watching at an unchanged tip must not
+        serve pre-watch answers."""
+        super().__init__(index, follow=follow)
+
+    def _apply_block(self, block: Block) -> None:
+        if not self._cases:
+            return
+        index = self.index
+        for case in self._cases.values():
+            if not case.taint:
+                continue
+            for tx in block.transactions:
+                if tx.is_coinbase:
+                    continue
+                frontier = taint_step(
+                    index,
+                    tx,
+                    case.taint,
+                    name_of_address=self.name_of_address,
+                    min_taint=self.min_taint,
+                    at_entities=case.at_entities,
+                )
+                if frontier is not None:
+                    case.txs_processed += 1
+
+    # -- case management ----------------------------------------------
+
+    def watch(self, label: str, sources: list[OutPoint]) -> TaintCase:
+        """Start tracking taint from the given outpoints under ``label``.
+
+        Spends already in the chain are caught up with a batch
+        propagation; subsequent blocks stream.  Re-watching a label
+        replaces the case.
+        """
+        tracker = TaintTracker(
+            self.index,
+            name_of_address=self.name_of_address,
+            min_taint=self.min_taint,
+        )
+        caught_up = tracker.propagate(list(sources), max_txs=10 ** 9)
+        case = TaintCase(
+            label=label,
+            sources=tuple(sources),
+            initial_taint=caught_up.initial_taint,
+            taint=dict(caught_up.taint_by_outpoint),
+            at_entities=dict(caught_up.taint_at_entities),
+            txs_processed=caught_up.txs_processed,
+        )
+        self._cases[label] = case
+        self.epoch += 1
+        return case
+
+    def watch_tx(self, label: str, txid: bytes) -> TaintCase:
+        """Watch every output of one transaction (a whole theft tx)."""
+        tx = self.index.tx(txid)
+        return self.watch(
+            label, [OutPoint(txid, vout) for vout in range(len(tx.outputs))]
+        )
+
+    def watch_txs(self, label: str, txids: list[bytes]) -> TaintCase:
+        """Watch every output of several transactions as one case."""
+        sources: list[OutPoint] = []
+        for txid in txids:
+            tx = self.index.tx(txid)
+            sources.extend(OutPoint(txid, vout) for vout in range(len(tx.outputs)))
+        return self.watch(label, sources)
+
+    @property
+    def labels(self) -> list[str]:
+        """Watched case labels, registration-ordered."""
+        return list(self._cases)
+
+    def case(self, label: str) -> TaintCase:
+        """The live case for ``label`` (``KeyError`` if unwatched)."""
+        return self._cases[label]
+
+    def result_for(self, label: str) -> TaintResult:
+        """Batch-shaped result snapshot for one case."""
+        return self._cases[label].as_result()
+
+
+@dataclass(frozen=True, slots=True)
+class ClusterActivity:
+    """Aggregate activity of one cluster (Table 1 / chokepoint fodder)."""
+
+    tx_count: int
+    """Summed member incidences: a tx touching k member addresses
+    counts k times (address-tx incidences, not distinct txs)."""
+
+    first_seen: int
+    last_seen: int
+
+
+class ActivityView(MaterializedView):
+    """Per-address tx incidence counts and first/last-seen heights.
+
+    A transaction *involves* an address when the address appears among
+    its resolved input senders (:meth:`ChainIndex.input_address_ids
+    <repro.chain.index.ChainIndex.input_address_ids>`) or its outputs.
+    Per-cluster rollups (:meth:`cluster_activity`) feed the service's
+    ``top_clusters`` / ``cluster_profile`` queries.
+    """
+
+    def __init__(self, index: ChainIndex, *, follow: bool = True) -> None:
+        self._tx_counts: list[int] = []
+        self._first_seen: list[int] = []
+        self._last_seen: list[int] = []
+        super().__init__(index, follow=follow)
+
+    def _apply_block(self, block: Block) -> None:
+        index = self.index
+        height = block.height
+        counts = self._tx_counts
+        first = self._first_seen
+        last = self._last_seen
+        for tx in block.transactions:
+            involved = set(index.input_address_ids(tx))
+            involved.update(
+                ident for ident in index.output_address_ids(tx) if ident >= 0
+            )
+            for ident in involved:
+                if ident >= len(counts):
+                    grow = ident + 1 - len(counts)
+                    counts.extend([0] * grow)
+                    first.extend([-1] * grow)
+                    last.extend([-1] * grow)
+                counts[ident] += 1
+                if first[ident] < 0:
+                    first[ident] = height
+                last[ident] = height
+
+    # -- queries -------------------------------------------------------
+
+    def tx_count_of_id(self, ident: int) -> int:
+        """Transactions involving an address id (0 if never seen)."""
+        if 0 <= ident < len(self._tx_counts):
+            return self._tx_counts[ident]
+        return 0
+
+    def seen_range_of_id(self, ident: int) -> tuple[int, int] | None:
+        """``(first, last)`` involvement heights, or ``None`` if unseen."""
+        if 0 <= ident < len(self._first_seen) and self._first_seen[ident] >= 0:
+            return self._first_seen[ident], self._last_seen[ident]
+        return None
+
+    def cluster_activity(self, partition) -> dict[int, ClusterActivity]:
+        """``cluster root -> ClusterActivity`` in one array pass."""
+        find_root = partition.find_root
+        counts: dict[int, int] = {}
+        first: dict[int, int] = {}
+        last: dict[int, int] = {}
+        for ident, count in enumerate(self._tx_counts):
+            if not count:
+                continue
+            root = find_root(ident)
+            if root is None:
+                continue
+            counts[root] = counts.get(root, 0) + count
+            seen_first = self._first_seen[ident]
+            if root not in first or seen_first < first[root]:
+                first[root] = seen_first
+            seen_last = self._last_seen[ident]
+            if root not in last or seen_last > last[root]:
+                last[root] = seen_last
+        return {
+            root: ClusterActivity(
+                tx_count=counts[root],
+                first_seen=first[root],
+                last_seen=last[root],
+            )
+            for root in counts
+        }

@@ -102,6 +102,20 @@ class ClusterNaming:
             return None
         return self.name_of_cluster(self.clustering.uf.find(address))
 
+    def name_of_address_id(self, ident: int | None) -> str | None:
+        """Id-keyed :meth:`name_of_address` for interned clusterings.
+
+        The §5 trackers' hot loops resolve recipients thousands of
+        times; going through
+        :meth:`~repro.core.clustering.InternedPartition.find_root` on a
+        dense id skips re-hashing the base58 string inside the
+        partition.  ``None`` (address never interned) maps to ``None``.
+        """
+        if ident is None:
+            return None
+        root = self.clustering.uf.find_root(ident)
+        return None if root is None else self.name_of_cluster(root)
+
     def named_clusters(self) -> list[NamedCluster]:
         """All named clusters, largest first."""
         return sorted(self._named.values(), key=lambda c: -c.size)

@@ -167,3 +167,117 @@ class TestSelfChangeHistory:
         assert index.was_self_change_before(addr("self"), 2)
         assert not index.was_self_change_before(addr("self"), 1)
         assert not index.was_self_change_before(addr("other"), 5)
+
+
+class TestObserverFanOut:
+    """Multiple subscribers: exactly-once, in order, isolated failures."""
+
+    def _source_blocks(self, n=3):
+        source = build_chain([[] for _ in range(n)])
+        return [source.block_at(h) for h in range(n)]
+
+    def test_subscribers_observe_in_registration_order(self):
+        target = ChainIndex()
+        calls = []
+        target.subscribe(lambda block: calls.append(("a", block.height)))
+        target.subscribe(lambda block: calls.append(("b", block.height)))
+        for block in self._source_blocks(2):
+            target.add_block(block)
+        assert calls == [("a", 0), ("b", 0), ("a", 1), ("b", 1)]
+
+    def test_raising_subscriber_does_not_starve_later_ones(self):
+        target = ChainIndex()
+        seen = []
+
+        def explode(block):
+            raise RuntimeError(f"boom at {block.height}")
+
+        target.subscribe(explode)
+        target.subscribe(lambda block: seen.append(block.height))
+        blocks = self._source_blocks(2)
+        with pytest.raises(RuntimeError, match="boom at 0"):
+            target.add_block(blocks[0])
+        # The block is ingested and the later subscriber observed it.
+        assert target.height == 0
+        assert seen == [0]
+        with pytest.raises(RuntimeError, match="boom at 1"):
+            target.add_block(blocks[1])
+        assert seen == [0, 1]
+
+    def test_all_failures_reported_on_first_exception(self):
+        target = ChainIndex()
+
+        def explode_a(block):
+            raise RuntimeError("first")
+
+        def explode_b(block):
+            raise ValueError("second")
+
+        target.subscribe(explode_a)
+        target.subscribe(explode_b)
+        with pytest.raises(RuntimeError, match="first") as excinfo:
+            target.add_block(self._source_blocks(1)[0])
+        notes = getattr(excinfo.value, "__notes__", [])
+        assert any("second" in note for note in notes)
+
+    def test_mid_callback_unsubscribe_still_delivers_current_block(self):
+        target = ChainIndex()
+        seen = []
+        unsubscribe_b = None
+
+        def observer_a(block):
+            unsubscribe_b()
+
+        def observer_b(block):
+            seen.append(block.height)
+
+        target.subscribe(observer_a)
+        unsubscribe_b = target.subscribe(observer_b)
+        blocks = self._source_blocks(2)
+        target.add_block(blocks[0])
+        # b was registered when the fan-out for block 0 snapshotted the
+        # list, so it sees block 0 exactly once — and nothing after.
+        assert seen == [0]
+        target.add_block(blocks[1])
+        assert seen == [0]
+
+    def test_mid_callback_subscribe_starts_at_next_block(self):
+        target = ChainIndex()
+        seen = []
+
+        def late_observer(block):
+            seen.append(block.height)
+
+        def observer_a(block):
+            if block.height == 0:
+                target.subscribe(late_observer)
+
+        target.subscribe(observer_a)
+        blocks = self._source_blocks(2)
+        target.add_block(blocks[0])
+        assert seen == []  # subscribed during block 0's fan-out
+        target.add_block(blocks[1])
+        assert seen == [1]
+
+
+class TestOutputAddressIds:
+    def test_aligned_and_memoized_for_ingested_txs(self):
+        index, txs = _indexed_payment()
+        for tx in (txs["pay"], txs["sweep"]):
+            ids = index.output_address_ids(tx)
+            assert len(ids) == len(tx.outputs)
+            for ident, out in zip(ids, tx.outputs):
+                assert index.interner.address_of(ident) == out.address
+            assert index.output_address_ids(tx) is ids  # memo hit
+
+    def test_foreign_tx_never_allocates_phantom_ids(self):
+        index, txs = _indexed_payment()
+        before = len(index.interner)
+        foreign = spend(
+            [(txs["sweep"], 0)], [(addr("phantom-recipient"), COIN)]
+        )
+        ids = index.output_address_ids(foreign)
+        # Unknown address resolves to -1 and the dense first-sight id
+        # space is untouched (snapshot universes depend on it).
+        assert ids == (-1,)
+        assert len(index.interner) == before

@@ -193,3 +193,111 @@ class TestStreaming:
             engine.snapshot(index.height + 1)
         with pytest.raises(IndexError):
             engine.cluster_as_of(-1)
+
+
+class TestMonotoneTimestamps:
+    """The wait rule's clock must never run backwards (§4.2)."""
+
+    def _blocks_with_backwards_time(self):
+        from repro.chain.model import Block, GENESIS_PREV_HASH
+
+        from tests.helpers import GENESIS_TIME
+
+        block0 = Block.assemble(
+            height=0,
+            prev_hash=GENESIS_PREV_HASH,
+            timestamp=GENESIS_TIME,
+            transactions=[coinbase(addr("mono/m0"), height=0)],
+        )
+        block1 = Block.assemble(
+            height=1,
+            prev_hash=block0.hash,
+            timestamp=GENESIS_TIME - 600,  # runs backwards
+            transactions=[coinbase(addr("mono/m1"), height=1)],
+        )
+        return block0, block1
+
+    def test_backwards_timestamp_raises_chain_error(self):
+        from repro.chain.errors import ChainError, NonMonotonicTimestampError
+        from repro.chain.model import Block
+
+        from tests.helpers import GENESIS_TIME
+
+        block0, block1 = self._blocks_with_backwards_time()
+        index = ChainIndex()
+        engine = IncrementalClusteringEngine(index)
+        index.add_block(block0)
+        with pytest.raises(NonMonotonicTimestampError, match="precedes"):
+            index.add_block(block1)
+        assert issubclass(NonMonotonicTimestampError, ChainError)
+        # The offending block was refused by the engine, not half-applied.
+        assert engine.height == 0
+        # ...but the index itself ingested it (observers run after).
+        assert index.height == 1
+        # The engine is now permanently behind: later blocks get the
+        # diagnosis, not a misleading out-of-order error.
+        block2 = Block.assemble(
+            height=2,
+            prev_hash=block1.hash,
+            timestamp=GENESIS_TIME + 600,
+            transactions=[coinbase(addr("mono/m2"), height=2)],
+        )
+        with pytest.raises(NonMonotonicTimestampError, match="stopped"):
+            index.add_block(block2)
+        assert engine.height == 0
+
+    def test_backwards_timestamp_allowed_without_wait_rule(self):
+        block0, block1 = self._blocks_with_backwards_time()
+        index = ChainIndex()
+        engine = IncrementalClusteringEngine(
+            index, h2_config=Heuristic2Config.naive()
+        )
+        index.add_block(block0)
+        index.add_block(block1)  # no wait window, no clamp to violate
+        assert engine.height == 1
+
+    def test_later_subscribers_survive_the_refusal(self):
+        block0, block1 = self._blocks_with_backwards_time()
+        index = ChainIndex()
+        IncrementalClusteringEngine(index)
+        heights = []
+        index.subscribe(lambda block: heights.append(block.height))
+        index.add_block(block0)
+        with pytest.raises(Exception):
+            index.add_block(block1)
+        assert heights == [0, 1]
+
+
+class TestSnapshotMemo:
+    def test_cluster_as_of_memoizes_per_height(self):
+        index = build_chain(_change_world())
+        engine = IncrementalClusteringEngine(index)
+        first = engine.cluster_as_of(3)
+        assert engine.cluster_as_of(3) is first  # memo hit, exact reuse
+        tip = engine.cluster_as_of()
+        assert engine.cluster_as_of(index.height) is tip
+        # Memoized answers stay correct as voids land later: height 4's
+        # view includes the label voided at height 5, before and after.
+        at_four = engine.cluster_as_of(4)
+        assert at_four.same_cluster(addr("v/a"), addr("v/change"))
+
+    def test_memo_taken_at_tip_stays_correct_after_later_void(self):
+        source = build_chain(_change_world())
+        target = ChainIndex()
+        engine = IncrementalClusteringEngine(target)
+        for height in range(5):
+            target.add_block(source.block_at(height))
+        # Memoize horizon 4 while it is the tip: the v-label is live.
+        at_tip = engine.cluster_as_of(4)
+        assert at_tip.same_cluster(addr("v/a"), addr("v/change"))
+        # Block 5 voids the label going forward...
+        target.add_block(source.block_at(5))
+        assert not engine.cluster_as_of(5).same_cluster(
+            addr("v/a"), addr("v/change")
+        )
+        # ...but horizon 4's (memoized) answer is unchanged — exactly
+        # the batch engine's as_of_height=4 view.
+        again = engine.cluster_as_of(4)
+        assert again is at_tip
+        batch = ClusteringEngine(target).cluster(as_of_height=4)
+        assert _partition(again) == _partition(batch)
