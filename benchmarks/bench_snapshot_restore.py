@@ -1,0 +1,223 @@
+"""Durable state store: restore + tail replay vs cold replay.
+
+The recovery claim behind ``repro/storage``: restarting the forensics
+service from its newest snapshot — deserialize the segments, then
+re-ingest only the blocks past the snapshot height from the ``blk*.dat``
+files — beats rebuilding from block 0 by ≥10× on a 600-height chain.
+
+Each recovery path is timed in a *fresh subprocess*, because that is
+what a restart is: a clean heap, state coming from disk.  (In-process
+timing would let one path's allocations trigger whole-heap GC passes
+inside the other's window — the numbers stop meaning anything.)  The
+cold child replays every block file through the full observer fan-out
+(incremental H1+H2, balance/taint/activity views), re-watches the theft
+cases, and materializes the tip partition; the warm child calls
+``StateStore.warm_start`` and reaches the same readiness bar.  The
+parent then restores in-process and asserts the recovered service is
+answer-for-answer identical to the never-restarted reference.
+
+Snapshots come from a ``SnapshotPolicy`` (every 59 blocks, retain 2)
+attached during untimed preparation, leaving the newest snapshot ~10
+blocks behind the tip — the recovery point a restart typically finds
+under an every-N policy: a real tail to replay, bounded by the policy
+interval rather than the chain.
+"""
+
+import json
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import repro
+from repro import experiments
+from repro.chain.blockfile import BlockFileWriter
+from repro.chain.index import ChainIndex
+from repro.service import ForensicsService
+from repro.storage import SnapshotPolicy, StateStore
+
+_SRC_DIR = str(Path(repro.__file__).resolve().parent.parent)
+
+_COLD_CHILD = """
+import json, sys, time
+sys.path.insert(0, sys.argv[1])
+from repro import experiments
+from repro.chain.blockfile import BlockFileReader
+from repro.chain.index import ChainIndex
+from repro.service import ForensicsService
+from repro.simulation import scenarios
+
+blocks_dir = sys.argv[2]
+world = scenarios.default_economy(seed=0)
+reference = ForensicsService.from_world(world)
+config = dict(
+    tags=reference.tags, dice_addresses=reference.engine.dice_addresses
+)
+reference.detach()
+del reference, world  # the timed replay runs against disk, not this heap
+import gc; gc.collect()
+
+start = time.perf_counter()
+index = ChainIndex()
+service = ForensicsService(index, **config)
+for block in BlockFileReader(blocks_dir).iter_blocks():
+    index.add_block(block)
+experiments.watch_synthetic_thefts(service)
+service.clustering  # ready to serve: tip partition materialized
+seconds = time.perf_counter() - start
+print(json.dumps({"seconds": seconds, "height": service.height}))
+"""
+
+_WARM_CHILD = """
+import json, sys, time
+sys.path.insert(0, sys.argv[1])
+from repro.storage import StateStore
+
+blocks_dir, snapshots_dir = sys.argv[2], sys.argv[3]
+start = time.perf_counter()
+warm = StateStore(snapshots_dir).warm_start(blocks_dir)
+warm.service.clustering  # same readiness bar as the cold child
+seconds = time.perf_counter() - start
+print(json.dumps({
+    "seconds": seconds,
+    "height": warm.height,
+    "snapshot_height": warm.snapshot_height,
+    "tail_blocks": warm.tail_blocks,
+}))
+"""
+
+
+def _run_child(script: str, *args: str) -> dict:
+    result = subprocess.run(
+        [sys.executable, "-c", script, _SRC_DIR, *args],
+        capture_output=True,
+        text=True,
+        check=True,
+        timeout=600,
+    )
+    return json.loads(result.stdout.strip().splitlines()[-1])
+
+
+def _watch_like(reference, service):
+    """Watch the exact theft cases the reference service watches."""
+    for label in reference.taint.labels:
+        service.taint.watch(label, list(reference.taint.case(label).sources))
+
+
+def test_restore_plus_tail_replay_beats_cold_replay_10x(
+    tmp_path, bench_default_world, bench_report
+):
+    world = bench_default_world  # 600-height chain
+    n_blocks = world.index.height + 1
+    assert n_blocks >= 600
+    blocks_dir = tmp_path / "blocks"
+    BlockFileWriter(blocks_dir).write_chain(world.blocks)
+
+    # Reference service: never restarted, theft cases watched at the tip
+    # (the same deterministic cases the cold child will watch).
+    reference = ForensicsService.from_world(world)
+    experiments.watch_synthetic_thefts(reference)
+
+    # --- preparation (untimed): stream once with the snapshot policy --
+    store = StateStore(tmp_path / "snapshots")
+    prep_index = ChainIndex()
+    prep_service = ForensicsService(
+        prep_index,
+        tags=reference.tags,
+        dice_addresses=reference.engine.dice_addresses,
+    )
+    SnapshotPolicy(store, every=59, retain=2).attach(prep_service)
+    watch_height = max(
+        reference.index.location(point.txid).height
+        for label in reference.taint.labels
+        for point in reference.taint.case(label).sources
+    )
+    for block in world.blocks:
+        prep_index.add_block(block)
+        if block.height == watch_height:
+            # Watch as soon as the theft txs exist, so the snapshots the
+            # restart will find carry live taint frontiers.
+            _watch_like(reference, prep_service)
+    newest = store.latest()
+    assert newest is not None and newest.height < n_blocks - 1
+    snapshot_bytes = sum(record["bytes"] for record in newest.segments.values())
+
+    # --- timed, one fresh process per recovery path -------------------
+    cold = _run_child(_COLD_CHILD, str(blocks_dir))
+    warm = _run_child(_WARM_CHILD, str(blocks_dir), str(tmp_path / "snapshots"))
+    assert cold["height"] == warm["height"] == n_blocks - 1
+    assert warm["tail_blocks"] == n_blocks - 1 - warm["snapshot_height"]
+
+    # Recovery must not change a single answer: restore in-process and
+    # compare against the never-restarted reference.
+    recovered = store.warm_start(blocks_dir).service
+    queries = experiments.generate_query_workload(
+        reference, n_queries=120, seed=17
+    )
+    assert reference.answer_many(queries) == recovered.answer_many(queries)
+
+    speedup = cold["seconds"] / warm["seconds"]
+    print(
+        f"\nrecovery over a {n_blocks}-height chain "
+        f"({world.index.tx_count} txs, {world.index.address_count} "
+        f"addresses), each path in a fresh process:\n"
+        f"  cold replay from block 0:   {cold['seconds']:.3f}s\n"
+        f"  restore h={warm['snapshot_height']} + {warm['tail_blocks']}-block "
+        f"tail replay: {warm['seconds']:.3f}s "
+        f"(snapshot {snapshot_bytes / 1e6:.1f} MB)\n"
+        f"  speedup: ×{speedup:.1f}"
+    )
+    bench_report(
+        "snapshot_restore",
+        {
+            "chain_heights": n_blocks,
+            "tx_count": world.index.tx_count,
+            "address_count": world.index.address_count,
+            "cold_replay_seconds": round(cold["seconds"], 4),
+            "warm_recovery_seconds": round(warm["seconds"], 4),
+            "snapshot_height": warm["snapshot_height"],
+            "tail_blocks": warm["tail_blocks"],
+            "snapshot_bytes": snapshot_bytes,
+            "speedup": round(speedup, 1),
+            "bound": 10.0,
+        },
+    )
+    # The acceptance bar: recovery is bounded by the tail, not the chain.
+    assert warm["seconds"] * 10 <= cold["seconds"]
+
+
+def test_snapshot_capture_cost_is_bounded(
+    tmp_path, bench_default_world, bench_report
+):
+    """Capturing a snapshot of the full 600-height state costs a small
+    constant (well under one cold replay), so an every-N policy is cheap
+    insurance rather than a serving hazard."""
+    world = bench_default_world
+    service = ForensicsService.from_world(world)
+    store = StateStore(tmp_path)
+    start = time.perf_counter()
+    path = store.snapshot(service)
+    capture_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    restored = store.restore()
+    restore_seconds = time.perf_counter() - start
+    assert restored.height == service.height
+    total_bytes = sum(f.stat().st_size for f in path.iterdir())
+    print(
+        f"\nsnapshot at height {service.height}: capture "
+        f"{capture_seconds:.3f}s, restore {restore_seconds:.3f}s, "
+        f"{total_bytes / 1e6:.1f} MB"
+    )
+    bench_report(
+        "snapshot_capture",
+        {
+            "height": service.height,
+            "capture_seconds": round(capture_seconds, 4),
+            "restore_seconds": round(restore_seconds, 4),
+            "snapshot_bytes": total_bytes,
+        },
+    )
+    # Guardrails, loose enough for CI noise: capture and restore are
+    # both far from cold-replay territory.
+    assert capture_seconds < 30
+    assert restore_seconds < 10

@@ -9,9 +9,29 @@ bench also prints the paper-shaped table it regenerates (run with
 
 from __future__ import annotations
 
+import json
+import os
+from pathlib import Path
+
 import pytest
 
 from repro.simulation import scenarios
+
+
+@pytest.fixture(scope="session")
+def bench_report():
+    """Write a ``BENCH_<name>.json`` machine-readable result next to the
+    run (or under ``$BENCH_OUT_DIR``); CI uploads these as artifacts so
+    benchmark numbers are inspectable per commit without re-running."""
+
+    def write(name: str, payload: dict) -> Path:
+        out_dir = Path(os.environ.get("BENCH_OUT_DIR", "."))
+        out_dir.mkdir(parents=True, exist_ok=True)
+        path = out_dir / f"BENCH_{name}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        return path
+
+    return write
 
 
 @pytest.fixture(scope="session")

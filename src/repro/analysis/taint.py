@@ -74,11 +74,7 @@ def taint_step(
     if not touched:
         return None
     frontier: list[OutPoint] = []
-    total_in = sum(
-        index.output(txin.prevout).value
-        for txin in tx.inputs
-        if not txin.is_coinbase
-    )
+    total_in = index.input_value(tx)  # memoized at ingestion
     if tainted_in < min_taint or total_in == 0:
         return frontier
     ratio = tainted_in / total_in

@@ -14,6 +14,16 @@ A :class:`ChainIndex` ingests blocks in height order and maintains:
 The index is deliberately append-only: the paper analyses a chain prefix,
 and temporal replay (false-positive estimation) is done by *consulting
 heights*, not by mutating the index.
+
+Durability: :meth:`ChainIndex.export_state` flattens the whole index
+into plain picklable data (raw block bytes, tuple-keyed maps, per-record
+tuples) and :meth:`ChainIndex.restore_state` rebuilds from it *lazily* —
+blocks, transactions, and address records stay as flat data until first
+touched.  That laziness is what keeps a snapshot restore bounded by
+O(flat bytes) instead of O(every Python object the chain ever created):
+a restored serving index answers balance/cluster queries and ingests
+tail blocks while materializing only the objects those paths actually
+touch.
 """
 
 from __future__ import annotations
@@ -116,8 +126,11 @@ class ChainIndex:
     def __init__(self) -> None:
         self._txs: dict[bytes, Transaction] = {}
         self._locations: dict[bytes, TxLocation] = {}
-        self._utxos: dict[OutPoint, TxOut] = {}
-        self._spent_by: dict[OutPoint, tuple[bytes, int]] = {}
+        # UTXO/spender maps are keyed by plain (txid, vout) tuples, not
+        # OutPoint objects: the keys then restore from a snapshot at
+        # pickle speed with zero per-entry reconstruction.
+        self._utxos: dict[tuple[bytes, int], TxOut] = {}
+        self._spent_by: dict[tuple[bytes, int], tuple[bytes, int]] = {}
         self._addresses: dict[str, AddressRecord] = {}
         self._records_by_id: list[AddressRecord] = []
         self._interner = AddressInterner()
@@ -132,7 +145,29 @@ class ChainIndex:
         # scripts), memoized: every streaming view credits the same
         # outputs, and script → address extraction is the hot part.
         self._output_ids: dict[bytes, tuple[int, ...]] = {}
+        # Per-tx (address id, value) of each consumed output, aligned
+        # with the non-coinbase inputs.  Populated during ingestion —
+        # `_add_tx` holds every spent TxOut the moment it pops the UTXO
+        # — so observers debiting spends never re-resolve prevouts
+        # (which, on a snapshot-restored index, would materialize
+        # historic blocks and defeat the lazy restore).
+        self._input_spends: dict[bytes, tuple[tuple[int, int], ...]] = {}
         self._observers: list[Callable[[Block], None]] = []
+        self._timestamps: list[int] = []
+        # Lazy backing for a snapshot-restored index; all None/absent in a
+        # live-built one.  `_blocks` / `_records_by_id` hold None at not-
+        # yet-materialized positions, with the flat data waiting here.
+        self._raw_blocks: list[bytes | None] | None = None
+        self._tx_locator: dict[bytes, tuple[int, int]] | None = None
+        """txid -> (height, index in block) for every tx, materialized
+        or not (kept current through tail ingestion)."""
+        self._lazy_records: list[tuple | None] | None = None
+        """Per address id: ``(receive_tuples, spend_tuples)`` until the
+        :class:`AddressRecord` is first touched."""
+        self._txids_by_height: dict[int, dict[int, bytes]] | None = None
+        """Inverse of ``_tx_locator`` (height -> position -> txid),
+        built once on the first lazy block materialization so txids are
+        seated, not recomputed."""
 
     # ------------------------------------------------------------------
     # ingestion
@@ -149,6 +184,9 @@ class ChainIndex:
         for i, tx in enumerate(block.transactions):
             self._add_tx(tx, block, i)
         self._blocks.append(block)
+        self._timestamps.append(block.header.timestamp)
+        if self._raw_blocks is not None:
+            self._raw_blocks.append(None)  # serialized on demand at export
         self._notify_observers(block)
 
     def _notify_observers(self, block: Block) -> None:
@@ -202,48 +240,67 @@ class ChainIndex:
 
     def _add_tx(self, tx: Transaction, block: Block, index_in_block: int) -> None:
         txid = tx.txid
-        if txid in self._txs:
+        if txid in self:
             raise DoubleSpendError(f"duplicate transaction {tx.txid_hex}")
         input_addrs: set[str] = set()
+        input_ids: dict[int, None] = {}  # dedup'd, insertion-ordered
+        input_spends: list[tuple[int, int]] = []
         # Consume inputs.
         for vin, txin in enumerate(tx.inputs):
             if txin.is_coinbase:
                 continue
             prevout = txin.prevout
-            if prevout in self._spent_by:
+            prevout_key = (prevout.txid, prevout.vout)
+            if prevout_key in self._spent_by:
                 raise DoubleSpendError(
                     f"{tx.txid_hex} double-spends {prevout.txid[::-1].hex()}:"
                     f"{prevout.vout}"
                 )
-            spent = self._utxos.pop(prevout, None)
+            spent = self._utxos.pop(prevout_key, None)
             if spent is None:
                 raise MissingInputError(
                     f"{tx.txid_hex} spends unknown outpoint "
                     f"{prevout.txid[::-1].hex()}:{prevout.vout}"
                 )
-            self._spent_by[prevout] = (txid, vin)
+            self._spent_by[prevout_key] = (txid, vin)
             addr = spent.address
-            if addr is not None:
+            if addr is None:
+                input_spends.append((-1, spent.value))
+            else:
                 input_addrs.add(addr)
-                self._addresses[addr].spends.append(
-                    Spend(block.height, txid, vin, spent.value)
-                )
+                record = self.address(addr)
+                record.spends.append(Spend(block.height, txid, vin, spent.value))
+                input_ids.setdefault(record.address_id)
+                input_spends.append((record.address_id, spent.value))
         # Create outputs.
+        output_ids: list[int] = []
         for vout, txout in enumerate(tx.outputs):
-            self._utxos[OutPoint(txid, vout)] = txout
+            self._utxos[(txid, vout)] = txout
             addr = txout.address
             if addr is None:
+                output_ids.append(-1)
                 continue
-            record = self._addresses.get(addr)
+            record = self._record_or_none(addr)
             if record is None:
                 record = AddressRecord(addr, self._interner.intern(addr))
                 self._addresses[addr] = record
                 self._records_by_id.append(record)
+                if self._lazy_records is not None:
+                    self._lazy_records.append(None)
+            output_ids.append(record.address_id)
             record.receives.append(Receive(block.height, txid, vout, txout.value))
             record.receive_heights.append(block.height)
             if addr in input_addrs:
                 self._self_change_history.setdefault(addr, []).append(block.height)
+        # Seat the per-tx memos while the resolved data is in hand: the
+        # streaming observers (H1 unions, balance debits, activity) read
+        # exactly these, so they never re-resolve scripts or prevouts.
+        self._input_ids[txid] = tuple(input_ids)
+        self._output_ids[txid] = tuple(output_ids)
+        self._input_spends[txid] = tuple(input_spends)
         self._txs[txid] = tx
+        if self._tx_locator is not None:
+            self._tx_locator[txid] = (block.height, index_in_block)
         self._locations[txid] = TxLocation(
             height=block.height,
             timestamp=block.header.timestamp,
@@ -261,46 +318,97 @@ class ChainIndex:
 
     @property
     def blocks(self) -> list[Block]:
-        """The ingested blocks in height order."""
+        """The ingested blocks in height order (fully materialized)."""
+        if self._raw_blocks is not None:
+            for height, block in enumerate(self._blocks):
+                if block is None:
+                    self._materialize_block(height)
         return self._blocks
 
     def block_at(self, height: int) -> Block:
         """The block at ``height``."""
-        return self._blocks[height]
+        block = self._blocks[height]
+        if block is None:
+            block = self._materialize_block(height)
+        return block
+
+    def _materialize_block(self, height: int) -> Block:
+        """Parse a restored block from its raw bytes on first touch and
+        register its transactions in the live maps.
+
+        Txids are seated from the locator instead of recomputed — the
+        double-SHA256 over a re-serialization is the expensive half of
+        materializing a block, and the locator already knows every id.
+        """
+        from .serialize import block_from_bytes
+
+        raw = self._raw_blocks[height]
+        block = block_from_bytes(raw, height=height)
+        self._blocks[height] = block
+        if self._txids_by_height is None:
+            by_height: dict[int, dict[int, bytes]] = {}
+            for txid, (tx_height, position) in self._tx_locator.items():
+                by_height.setdefault(tx_height, {})[position] = txid
+            self._txids_by_height = by_height
+        seated = self._txids_by_height.get(height, {})
+        txs = self._txs
+        for position, tx in enumerate(block.transactions):
+            txid = seated.get(position)
+            if txid is not None:
+                tx.__dict__["txid"] = txid  # pre-warm the cached_property
+            txs[tx.txid] = tx
+        return block
 
     def timestamp_at(self, height: int) -> int:
         """The block timestamp at ``height``."""
-        return self._blocks[height].header.timestamp
+        return self._timestamps[height]
 
     # ------------------------------------------------------------------
     # transaction access
     # ------------------------------------------------------------------
 
     def __contains__(self, txid: bytes) -> bool:
-        return txid in self._txs
+        if txid in self._txs:
+            return True
+        return self._tx_locator is not None and txid in self._tx_locator
 
     def tx(self, txid: bytes) -> Transaction:
         """Look up a transaction by internal-order txid."""
-        try:
-            return self._txs[txid]
-        except KeyError:
-            raise UnknownTransactionError(txid[::-1].hex()) from None
+        found = self._txs.get(txid)
+        if found is not None:
+            return found
+        if self._tx_locator is not None:
+            location = self._tx_locator.get(txid)
+            if location is not None:
+                block = self.block_at(location[0])
+                return block.transactions[location[1]]
+        raise UnknownTransactionError(txid[::-1].hex())
 
     def location(self, txid: bytes) -> TxLocation:
         """Block height/timestamp/position for a txid."""
-        try:
-            return self._locations[txid]
-        except KeyError:
-            raise UnknownTransactionError(txid[::-1].hex()) from None
+        found = self._locations.get(txid)
+        if found is not None:
+            return found
+        if self._tx_locator is not None:
+            located = self._tx_locator.get(txid)
+            if located is not None:
+                height, index_in_block = located
+                found = TxLocation(height, self._timestamps[height], index_in_block)
+                self._locations[txid] = found
+                return found
+        raise UnknownTransactionError(txid[::-1].hex())
 
     def iter_transactions(self) -> Iterator[tuple[Transaction, TxLocation]]:
         """All transactions with their locations, in chain order."""
-        for block in self._blocks:
+        for height in range(len(self._blocks)):
+            block = self.block_at(height)
             for i, tx in enumerate(block.transactions):
                 yield tx, TxLocation(block.height, block.header.timestamp, i)
 
     @property
     def tx_count(self) -> int:
+        if self._tx_locator is not None:
+            return len(self._tx_locator)
         return len(self._txs)
 
     # ------------------------------------------------------------------
@@ -309,7 +417,7 @@ class ChainIndex:
 
     def output(self, outpoint: OutPoint) -> TxOut:
         """The output a prevout references (spent or unspent)."""
-        utxo = self._utxos.get(outpoint)
+        utxo = self._utxos.get((outpoint.txid, outpoint.vout))
         if utxo is not None:
             return utxo
         tx = self.tx(outpoint.txid)
@@ -317,11 +425,11 @@ class ChainIndex:
 
     def is_unspent(self, outpoint: OutPoint) -> bool:
         """True while an output is in the UTXO set."""
-        return outpoint in self._utxos
+        return (outpoint.txid, outpoint.vout) in self._utxos
 
     def spender_of(self, outpoint: OutPoint) -> tuple[bytes, int] | None:
         """``(txid, vin)`` of the input spending an output, if spent."""
-        return self._spent_by.get(outpoint)
+        return self._spent_by.get((outpoint.txid, outpoint.vout))
 
     @property
     def utxo_count(self) -> int:
@@ -341,32 +449,69 @@ class ChainIndex:
         return self._interner
 
     def has_address(self, address: str) -> bool:
-        return address in self._addresses
+        if address in self._addresses:
+            return True
+        return (
+            self._lazy_records is not None
+            and self._interner.id_of(address) is not None
+        )
+
+    def _record_or_none(self, address: str) -> AddressRecord | None:
+        """The record for ``address`` if it exists (materializing a lazy
+        one), else ``None``."""
+        record = self._addresses.get(address)
+        if record is None and self._lazy_records is not None:
+            ident = self._interner.id_of(address)
+            if ident is not None:
+                record = self._materialize_record(ident)
+        return record
+
+    def _materialize_record(self, address_id: int) -> AddressRecord:
+        """Inflate a restored address record from its flat tuples."""
+        record = self._records_by_id[address_id]
+        if record is not None:
+            return record
+        receives, spends = self._lazy_records[address_id]
+        record = AddressRecord(
+            self._interner.address_of(address_id), address_id
+        )
+        record.receives = [Receive(*entry) for entry in receives]
+        record.spends = [Spend(*entry) for entry in spends]
+        record.receive_heights = [entry[0] for entry in receives]
+        self._records_by_id[address_id] = record
+        self._addresses[record.address] = record
+        self._lazy_records[address_id] = None
+        return record
 
     def address(self, address: str) -> AddressRecord:
         """The :class:`AddressRecord` for ``address``."""
-        try:
-            return self._addresses[address]
-        except KeyError:
-            raise UnknownAddressError(address) from None
+        record = self._record_or_none(address)
+        if record is None:
+            raise UnknownAddressError(address)
+        return record
 
     def address_by_id(self, address_id: int) -> AddressRecord:
         """The :class:`AddressRecord` for an interned address id."""
         try:
-            return self._records_by_id[address_id]
+            record = self._records_by_id[address_id]
         except IndexError:
             raise UnknownAddressError(f"id:{address_id}") from None
+        if record is None:
+            record = self._materialize_record(address_id)
+        return record
 
     def iter_addresses(self) -> Iterator[AddressRecord]:
-        yield from self._addresses.values()
+        """Every record, in interned-id (= first-sight) order."""
+        for address_id in range(len(self._records_by_id)):
+            yield self.address_by_id(address_id)
 
     @property
     def address_count(self) -> int:
-        return len(self._addresses)
+        return len(self._records_by_id)
 
     def sink_addresses(self) -> list[str]:
         """Addresses that have received but never spent (paper §4.1)."""
-        return [a for a, rec in self._addresses.items() if rec.is_sink]
+        return [rec.address for rec in self.iter_addresses() if rec.is_sink]
 
     def input_address_ids(self, tx: Transaction) -> tuple[int, ...]:
         """Interned ids of the addresses a transaction spends from
@@ -388,7 +533,7 @@ class ChainIndex:
             if addr is not None:
                 seen.setdefault(self._interner.intern(addr))
         ids = tuple(seen)
-        if txid in self._txs:
+        if txid in self:
             self._input_ids[txid] = ids
         return ids
 
@@ -410,7 +555,7 @@ class ChainIndex:
         cached = self._output_ids.get(txid)
         if cached is not None:
             return cached
-        if txid in self._txs:
+        if txid in self:
             # Ingestion already interned every output address; intern()
             # is a pure lookup here.
             intern = self._interner.intern
@@ -434,11 +579,37 @@ class ChainIndex:
         edge of :meth:`input_address_ids`."""
         return self._interner.addresses_of(self.input_address_ids(tx))
 
+    def input_spends(self, tx: Transaction) -> tuple[tuple[int, int], ...]:
+        """``(address id, value)`` of each consumed output, aligned with
+        the transaction's non-coinbase inputs (-1 for exotic scripts).
+
+        Memoized at ingestion (``_add_tx`` holds every spent output as
+        it pops the UTXO), so for indexed transactions this never
+        resolves a prevout — the property the balance view's spend
+        debits and a lazily restored index both rely on.
+        """
+        txid = tx.txid
+        cached = self._input_spends.get(txid)
+        if cached is not None:
+            return cached
+        spends: list[tuple[int, int]] = []
+        id_of = self._interner.id_of
+        for txin in tx.inputs:
+            if txin.is_coinbase:
+                continue
+            out = self.output(txin.prevout)
+            ident = id_of(out.address) if out.address is not None else None
+            spends.append((-1 if ident is None else ident, out.value))
+        resolved = tuple(spends)
+        if txid in self:
+            self._input_spends[txid] = resolved
+        return resolved
+
     def input_value(self, tx: Transaction) -> int:
         """Total satoshis consumed by a transaction's inputs."""
         if tx.is_coinbase:
             return 0
-        return sum(self.output(txin.prevout).value for txin in tx.inputs)
+        return sum(value for _ident, value in self.input_spends(tx))
 
     def fee(self, tx: Transaction) -> int:
         """Miner fee (inputs minus outputs); 0 for coinbases."""
@@ -452,14 +623,14 @@ class ChainIndex:
 
     def appearances_before(self, address: str, height: int) -> int:
         """How many times ``address`` was paid strictly before ``height``."""
-        record = self._addresses.get(address)
+        record = self._record_or_none(address)
         if record is None:
             return 0
         return record.receives_before(height)
 
     def first_seen(self, address: str) -> int | None:
         """Height of the first receive, or ``None`` if never seen."""
-        record = self._addresses.get(address)
+        record = self._record_or_none(address)
         if record is None or not record.receives:
             return None
         return record.first_seen_height
@@ -473,3 +644,105 @@ class ChainIndex:
         """True if the address served as self-change strictly before
         ``height`` (one of the §4.2 refinements)."""
         return any(h < height for h in self._self_change_history.get(address, ()))
+
+    # ------------------------------------------------------------------
+    # durable state (snapshot / restore)
+    # ------------------------------------------------------------------
+
+    STATE_VERSION = 1
+    """Bump on any incompatible change to the exported state shape."""
+
+    def export_state(self) -> dict:
+        """Flatten the index into plain picklable data.
+
+        Everything is primitives, tuples, lists, and dicts — no model
+        objects — so serialization and deserialization both run at
+        C speed, and :meth:`restore_state` can rebuild lazily.  Blocks
+        are exported as their wire bytes (reusing the raw bytes a
+        restored index was itself loaded from, where still unparsed).
+        """
+        from .serialize import serialize_block
+
+        raw_blocks: list[bytes] = []
+        for height, block in enumerate(self._blocks):
+            raw = self._raw_blocks[height] if self._raw_blocks is not None else None
+            if raw is None:
+                raw = serialize_block(self.block_at(height))
+            raw_blocks.append(raw)
+        if self._tx_locator is not None:
+            tx_locator = dict(self._tx_locator)
+        else:
+            tx_locator = {}
+            for height, block in enumerate(self._blocks):
+                for i, tx in enumerate(block.transactions):
+                    tx_locator[tx.txid] = (height, i)
+        records: list[tuple] = []
+        for address_id in range(len(self._records_by_id)):
+            record = self._records_by_id[address_id]
+            if record is None:
+                records.append(self._lazy_records[address_id])
+                continue
+            records.append(
+                (
+                    [(r.height, r.txid, r.vout, r.value) for r in record.receives],
+                    [(s.height, s.txid, s.vin, s.value) for s in record.spends],
+                )
+            )
+        return {
+            "version": self.STATE_VERSION,
+            "raw_blocks": raw_blocks,
+            "timestamps": list(self._timestamps),
+            "tx_locator": tx_locator,
+            "utxos": {
+                key: (out.value, out.script_pubkey)
+                for key, out in self._utxos.items()
+            },
+            "spent_by": dict(self._spent_by),
+            "addresses": list(self._interner),
+            "records": records,
+            "self_change": {
+                address: list(heights)
+                for address, heights in self._self_change_history.items()
+            },
+        }
+
+    @classmethod
+    def restore_state(cls, state: dict) -> "ChainIndex":
+        """Rebuild an index from :meth:`export_state` output, lazily.
+
+        Blocks, transactions, and address records are left as flat data
+        and materialized on first access; the UTXO set, spender map, and
+        interner are rebuilt eagerly (tail ingestion needs them all
+        immediately).  The restored index is fully live: it ingests new
+        blocks, fans out to observers, and can itself be exported again.
+        """
+        version = state.get("version")
+        if version != cls.STATE_VERSION:
+            raise ValueError(
+                f"unsupported chain state version {version!r} "
+                f"(expected {cls.STATE_VERSION})"
+            )
+        index = cls()
+        raw_blocks = list(state["raw_blocks"])
+        index._raw_blocks = raw_blocks
+        index._blocks = [None] * len(raw_blocks)
+        index._timestamps = list(state["timestamps"])
+        index._tx_locator = dict(state["tx_locator"])
+        index._utxos = {
+            key: TxOut(value, script)
+            for key, (value, script) in state["utxos"].items()
+        }
+        index._spent_by = dict(state["spent_by"])
+        index._interner = AddressInterner.from_addresses(state["addresses"])
+        lazy_records = list(state["records"])
+        index._lazy_records = lazy_records
+        index._records_by_id = [None] * len(lazy_records)
+        index._self_change_history = {
+            address: list(heights)
+            for address, heights in state["self_change"].items()
+        }
+        if len(index._timestamps) != len(raw_blocks):
+            raise ValueError("chain state timestamps misaligned with blocks")
+        if len(index._interner) != len(lazy_records):
+            raise ValueError("chain state records misaligned with interner")
+        return index

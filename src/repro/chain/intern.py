@@ -25,6 +25,26 @@ class AddressInterner:
         self._ids: dict[str, int] = {}
         self._addresses: list[str] = []
 
+    @classmethod
+    def from_addresses(cls, addresses: Iterable[str]) -> "AddressInterner":
+        """Rebuild an interner from its id-ordered address table.
+
+        ``addresses`` must be the exact first-sight-ordered table a
+        previous interner produced (``list(interner)``) — this is the
+        snapshot/restore path, where preserving every assigned id
+        verbatim is what keeps restored id-space state (union-find,
+        views) aligned with the chain.
+        """
+        interner = cls()
+        table = interner._addresses
+        ids = interner._ids
+        for address in addresses:
+            ids[address] = len(table)
+            table.append(address)
+        if len(ids) != len(table):
+            raise ValueError("interner address table contains duplicates")
+        return interner
+
     def intern(self, address: str) -> int:
         """The id for ``address``, allocating the next dense id if new."""
         ident = self._ids.get(address)

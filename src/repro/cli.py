@@ -30,6 +30,13 @@ serving layer over the incremental engine + materialized views):
   script file (``--script FILE``, one query per line, ``#`` comments)
   or a generated mixed stream (``--generate N``); ``--dump FILE``
   writes the workload it ran so it can be replayed verbatim later.
+* Both take ``--state-dir DIR`` for a transparent warm start: the first
+  run writes ``DIR/blocks/blk*.dat`` plus a baseline snapshot under
+  ``DIR/snapshots/``, and every later run restores the newest snapshot
+  and tail-replays only the blocks past it — then checkpoints again on
+  the way out, so watched taint cases and chain growth survive
+  restarts.  A restarted service answers every query identically to a
+  cold-built one (the storage test suite proves it per height).
 """
 
 from __future__ import annotations
@@ -90,6 +97,12 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument("--scenario", choices=sorted(_SCENARIOS), default="default")
     query.add_argument("--seed", type=int, default=0)
     query.add_argument(
+        "--state-dir",
+        type=Path,
+        default=None,
+        help="durable state directory: warm-start from its newest snapshot",
+    )
+    query.add_argument(
         "tokens",
         nargs="+",
         metavar="QUERY",
@@ -102,6 +115,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--scenario", choices=sorted(_SCENARIOS), default="default")
     serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--state-dir",
+        type=Path,
+        default=None,
+        help="durable state directory: warm-start from its newest snapshot",
+    )
     serve.add_argument(
         "--script",
         type=Path,
@@ -149,6 +168,21 @@ def _load_workload_script(path: Path):
     return queries
 
 
+def _service_for(args, world):
+    """The serving-layer service for ``query``/``serve``: a plain warm
+    build, or a durable warm start when ``--state-dir`` is given.
+
+    Returns ``(service, checkpoint)`` where ``checkpoint`` re-snapshots
+    the (possibly mutated: new taint cases, tail growth) state on the
+    way out — a no-op without ``--state-dir``.
+    """
+    if args.state_dir is None:
+        return ForensicsService.from_world(world), lambda: None
+    warm = experiments.warm_service(world, args.state_dir)
+    print(f"[state-dir {args.state_dir}: {warm.report}]")
+    return warm.service, warm.checkpoint
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -171,7 +205,7 @@ def main(argv: list[str] | None = None) -> int:
         print(experiments.run_cluster_timeseries(world).report)
     elif args.command == "query":
         world = _SCENARIOS[args.scenario](seed=args.seed)
-        service = ForensicsService.from_world(world)
+        service, checkpoint = _service_for(args, world)
         query = parse_query(args.tokens)
         start = time.perf_counter()
         answer = service.answer(query)
@@ -181,9 +215,10 @@ def main(argv: list[str] | None = None) -> int:
             f"[{args.scenario} @ height {service.height}, "
             f"answered warm in {elapsed * 1e3:.2f}ms]"
         )
+        checkpoint()
     elif args.command == "serve":
         world = _SCENARIOS[args.scenario](seed=args.seed)
-        service = ForensicsService.from_world(world)
+        service, checkpoint = _service_for(args, world)
         if args.script is not None:
             queries = _load_workload_script(args.script)
             if not service.taint.labels and any(
@@ -221,6 +256,7 @@ def main(argv: list[str] | None = None) -> int:
             ]
             args.dump.write_text("\n".join(lines) + "\n")
             print(f"workload written to {args.dump}")
+        checkpoint()
     elif args.command == "stats":
         from .chain.stats import compute_statistics, format_statistics
 

@@ -300,6 +300,131 @@ class IncrementalClusteringEngine:
         return is_dice_spend(self.index, tx, self.dice_addresses)
 
     # ------------------------------------------------------------------
+    # durable state (snapshot / restore)
+    # ------------------------------------------------------------------
+
+    STATE_VERSION = 1
+
+    def export_state(self) -> dict:
+        """Flatten the engine into plain picklable data.
+
+        Labels are exported as tuples in birth order; the watch map and
+        the deadline heap reference them by index, so
+        :meth:`from_state` rebuilds the exact identity-shared structure
+        (a label voided later must be the same object everywhere).  The
+        union-find state carries its merge log, and ``marks`` the
+        per-height log positions — together the full time-travel record.
+        """
+        label_index = {id(live): i for i, live in enumerate(self._labels)}
+        return {
+            "version": self.STATE_VERSION,
+            "uf": self._uf.export_state(),
+            "marks": list(self._marks),
+            "seen": list(self._seen),
+            "max_id": self._max_id,
+            "last_timestamp": self._last_timestamp,
+            "refused_height": self._refused_height,
+            "labels": [
+                (
+                    live.label.txid,
+                    live.label.vout,
+                    live.label.address,
+                    live.label.height,
+                    live.address_id,
+                    live.input_id,
+                    live.deadline,
+                    live.voided_at,
+                )
+                for live in self._labels
+            ],
+            "watch": {
+                address_id: [label_index[id(live)] for live in watchers]
+                for address_id, watchers in self._watch.items()
+            },
+            "watch_heap": [
+                (deadline, seq, label_index[id(live)])
+                for deadline, seq, live in self._watch_heap
+            ],
+        }
+
+    @classmethod
+    def from_state(
+        cls,
+        index: ChainIndex,
+        state: dict,
+        *,
+        h2_config: Heuristic2Config | None = None,
+        dice_addresses: frozenset[str] = frozenset(),
+        follow: bool = True,
+    ) -> "IncrementalClusteringEngine":
+        """Rebuild an engine from :meth:`export_state` output.
+
+        ``index`` must hold exactly the chain prefix the state was
+        exported at (same heights, same interner ids); ``h2_config`` and
+        ``dice_addresses`` must match the exporting engine's, since they
+        govern how *future* blocks are clustered.  The restored engine
+        resumes streaming right where the exported one stopped.
+        """
+        version = state.get("version")
+        if version != cls.STATE_VERSION:
+            raise ValueError(
+                f"unsupported engine state version {version!r} "
+                f"(expected {cls.STATE_VERSION})"
+            )
+        engine = cls.__new__(cls)
+        engine.index = index
+        engine.h2_config = h2_config or Heuristic2Config.refined()
+        engine.dice_addresses = dice_addresses
+        engine._h2 = Heuristic2(
+            index, engine.h2_config, dice_addresses=dice_addresses
+        )
+        engine._uf = IntUnionFind.from_state(state["uf"])
+        engine._marks = list(state["marks"])
+        engine._seen = list(state["seen"])
+        engine._max_id = state["max_id"]
+        engine._last_timestamp = state["last_timestamp"]
+        engine._refused_height = state["refused_height"]
+        engine._labels = [
+            _LiveLabel(
+                label=ChangeLabel(txid, vout, address, height),
+                address_id=address_id,
+                input_id=input_id,
+                deadline=deadline,
+                voided_at=voided_at,
+            )
+            for (
+                txid,
+                vout,
+                address,
+                height,
+                address_id,
+                input_id,
+                deadline,
+                voided_at,
+            ) in state["labels"]
+        ]
+        engine._watch = {
+            address_id: [engine._labels[i] for i in watcher_indices]
+            for address_id, watcher_indices in state["watch"].items()
+        }
+        # The exported heap order is a valid heap invariant (entries
+        # compare on (deadline, seq) alone), so it is adopted verbatim.
+        engine._watch_heap = [
+            (deadline, seq, engine._labels[i])
+            for deadline, seq, i in state["watch_heap"]
+        ]
+        engine._as_of_cache = OrderedDict()
+        engine._unsubscribe = None
+        if len(engine._marks) != index.height + 1:
+            raise ValueError(
+                f"engine state is at height {len(engine._marks) - 1} but the "
+                f"index is at {index.height}"
+            )
+        if follow:
+            engine._unsubscribe = index.subscribe(engine._observe_block)
+        return engine
+
+    # ------------------------------------------------------------------
     # time travel
     # ------------------------------------------------------------------
 

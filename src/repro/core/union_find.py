@@ -275,3 +275,34 @@ class IntUnionFind:
         clone._components = self._components
         clone._log = list(self._log)
         return clone
+
+    # ------------------------------------------------------------------
+    # durable state (snapshot / restore)
+    # ------------------------------------------------------------------
+
+    def export_state(self) -> dict:
+        """Plain-data state: parents, sizes, and the full merge log.
+
+        The log is part of the state on purpose — the incremental
+        engine's time travel replays log prefixes, so a restored
+        structure must be able to answer every historical horizon the
+        live one could.
+        """
+        return {
+            "parent": list(self._parent),
+            "size": list(self._size),
+            "components": self._components,
+            "log": [tuple(entry) for entry in self._log],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "IntUnionFind":
+        """Rebuild a structure from :meth:`export_state` output."""
+        uf = cls()
+        uf._parent = list(state["parent"])
+        uf._size = list(state["size"])
+        uf._components = state["components"]
+        uf._log = [tuple(entry) for entry in state["log"]]
+        if len(uf._parent) != len(uf._size):
+            raise ValueError("union-find state parents/sizes misaligned")
+        return uf

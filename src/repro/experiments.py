@@ -373,6 +373,121 @@ def run_query_workload(
     return result
 
 
+@dataclass
+class WarmServiceResult:
+    """A service stood up against a durable ``--state-dir``."""
+
+    service: ForensicsService
+    store: "StateStore"
+    cold: bool
+    snapshot_height: int | None
+    tail_blocks: int
+    seconds: float
+    report: str
+
+    def checkpoint(self) -> None:
+        """Snapshot the service's current state (the shutdown hook the
+        CLI calls after serving, so watched taint cases and tail growth
+        survive the next restart)."""
+        self.store.snapshot(self.service)
+
+
+def warm_service(
+    world: World, state_dir, *, retain: int = 3
+) -> WarmServiceResult:
+    """Stand a service up against a durable state directory.
+
+    Layout: ``<state_dir>/blocks/blk*.dat`` (the chain substrate —
+    written from the world on first run, extended if the world has grown
+    since) and ``<state_dir>/snapshots/snap-*`` (the
+    :class:`~repro.storage.store.StateStore`).
+
+    First run (no snapshot): builds the service cold from the world and
+    captures a baseline snapshot.  Every later run restores the newest
+    snapshot and tail-replays only the blocks past it — the transparent
+    warm start behind ``repro serve --state-dir``.  A snapshot taken
+    against a *different* chain than the current world fails closed.
+    """
+    from pathlib import Path
+
+    from .chain.blockfile import BlockFileReader, BlockFileWriter
+    from .storage import StateStore, StorageError
+
+    state_dir = Path(state_dir)
+    blocks_dir = state_dir / "blocks"
+    store = StateStore(state_dir / "snapshots")
+    start = time.perf_counter()
+    on_disk = (
+        BlockFileReader(blocks_dir).count_blocks() if blocks_dir.is_dir() else 0
+    )
+    if on_disk:
+        # Guard BEFORE writing anything: appending this world's blocks
+        # to a directory built from a different scenario/seed would
+        # corrupt the substrate for both.  Headers chain by prev_hash,
+        # so one match at the last common height pins the whole prefix.
+        probe = min(on_disk, len(world.blocks)) - 1
+        probed = next(
+            iter(BlockFileReader(blocks_dir).iter_blocks(start_height=probe)),
+            None,
+        )
+        if probed is None or probed.header != world.blocks[probe].header:
+            raise StorageError(
+                f"block files under {blocks_dir} come from a different "
+                f"chain than this scenario/seed produces; point "
+                f"--state-dir at a fresh directory"
+            )
+    if on_disk < len(world.blocks):
+        writer = BlockFileWriter(blocks_dir, resume=True)
+        for block in world.blocks[on_disk:]:
+            writer.write_block(block)
+    snapshot = store.latest()
+    if snapshot is None:
+        service = ForensicsService.from_world(world)
+        store.snapshot(service)
+        seconds = time.perf_counter() - start
+        result = WarmServiceResult(
+            service=service,
+            store=store,
+            cold=True,
+            snapshot_height=None,
+            tail_blocks=0,
+            seconds=seconds,
+            report=(
+                f"cold start: built height {service.height} from the world "
+                f"and wrote a baseline snapshot ({seconds:.2f}s)"
+            ),
+        )
+        return result
+    warm = store.warm_start(blocks_dir)
+    service = warm.service
+    guard_height = min(warm.snapshot_height, len(world.blocks) - 1)
+    if (
+        guard_height >= 0
+        and service.index.block_at(guard_height).header
+        != world.blocks[guard_height].header
+    ):
+        raise StorageError(
+            f"snapshot under {state_dir} was captured from a different "
+            f"chain than this scenario/seed produces; point --state-dir "
+            f"at a fresh directory"
+        )
+    store.prune(retain)
+    seconds = time.perf_counter() - start
+    return WarmServiceResult(
+        service=service,
+        store=store,
+        cold=False,
+        snapshot_height=warm.snapshot_height,
+        tail_blocks=warm.tail_blocks,
+        seconds=seconds,
+        report=(
+            f"warm start: restored snapshot at height {warm.snapshot_height}"
+            f" + {warm.tail_blocks} tail blocks -> height {service.height} "
+            f"({seconds:.2f}s)"
+        ),
+    )
+
+
 def watch_synthetic_thefts(service: ForensicsService, *, cases: int = 3) -> None:
     """Watch a few mid-chain spends as stand-in theft cases
     (deterministic ``case-N`` labels) so worlds without scripted thefts

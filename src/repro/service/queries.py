@@ -17,7 +17,8 @@ kind                 args                        answer
                                                  ranked by ``size`` |
                                                  ``balance`` | ``activity``
 ``cluster_profile``  ``(address,)``              dict: cluster root, size,
-                                                 balances, activity, name
+                                                 balances, activity, rank,
+                                                 name
 ===================  ==========================  =============================
 
 :class:`QueryEngine` answers them from the service's warm views.  Every
@@ -27,8 +28,12 @@ unchanged tip are dictionary hits and a new block invalidates by
 construction.  Whole-partition aggregates (cluster balances, activity,
 naming) are themselves cached under reserved ``_agg:*`` queries, which
 is what makes ``top_clusters`` after ``cluster_profile`` nearly free.
-:meth:`QueryEngine.answer_many` additionally groups a batch by kind so
-same-view queries share one round of partition/view lookups.
+Ranked queries share one sorted index per ``(height, metric)`` — a
+:class:`ClusterRanking` under ``_agg:ranking:*`` — so ``top_clusters``
+with any ``n`` slices the same sort and ``cluster_profile`` reads its
+cluster's rank from it instead of re-ranking per distinct ``(n, by)``
+pair.  :meth:`QueryEngine.answer_many` additionally groups a batch by
+kind so same-view queries share one round of partition/view lookups.
 
 Answers are plain data and must be treated as immutable — they are
 shared by every caller that hits the same cache entry.
@@ -56,6 +61,26 @@ class Query:
 
     kind: str
     args: tuple = ()
+
+
+@dataclass(frozen=True)
+class ClusterRanking:
+    """One metric's full cluster ranking at one height.
+
+    Built once per ``(height, metric)`` and shared by every query that
+    ranks: ``top_clusters`` answers are prefixes of :attr:`order`, and
+    ``cluster_profile`` reads a cluster's standing from :attr:`rank_of`.
+    """
+
+    order: tuple[tuple[int, int], ...]
+    """``(root, value)`` pairs, best first (ties broken by root id)."""
+
+    rank_of: dict[int, int]
+    """``root -> 1-based rank`` over every cluster in :attr:`order`."""
+
+    def top(self, n: int) -> tuple[tuple[int, int], ...]:
+        """The best ``n`` entries (the whole ranking if ``n`` exceeds it)."""
+        return self.order[:n]
 
 
 def parse_query(tokens: list[str]) -> Query:
@@ -199,6 +224,28 @@ class QueryEngine:
     def _naming(self):
         return self._aggregate("naming", self.service.build_naming)
 
+    def _ranking(self, by: str) -> ClusterRanking:
+        """The shared per-height sorted index for one metric."""
+        if by not in TOP_CLUSTER_METRICS:
+            raise ValueError(
+                f"ranking metric must be one of {TOP_CLUSTER_METRICS}"
+            )
+        return self._aggregate(f"ranking:{by}", lambda: self._build_ranking(by))
+
+    def _build_ranking(self, by: str) -> ClusterRanking:
+        if by == "size":
+            metric = self.service.clustering.component_sizes()
+        elif by == "balance":
+            metric = self._cluster_balances()
+        else:  # activity
+            metric = {
+                root: activity.tx_count
+                for root, activity in self._cluster_activity().items()
+            }
+        order = tuple(sorted(metric.items(), key=lambda kv: (-kv[1], kv[0])))
+        rank_of = {root: rank for rank, (root, _value) in enumerate(order, 1)}
+        return ClusterRanking(order=order, rank_of=rank_of)
+
     # -- handlers ------------------------------------------------------
 
     def _answer_cluster_of(self, query: Query):
@@ -230,28 +277,14 @@ class QueryEngine:
 
     def _answer_top_clusters(self, query: Query):
         n, by = query.args
-        if by == "size":
-            metric = self.service.clustering.component_sizes()
-        elif by == "balance":
-            metric = self._cluster_balances()
-        elif by == "activity":
-            metric = {
-                root: activity.tx_count
-                for root, activity in self._cluster_activity().items()
-            }
-        else:
-            raise ValueError(
-                f"top_clusters metric must be one of {TOP_CLUSTER_METRICS}"
-            )
         naming = self._naming()
-        ranked = sorted(metric.items(), key=lambda kv: (-kv[1], kv[0]))[:n]
         return tuple(
             (
                 root,
                 value,
                 naming.name_of_cluster(root) if naming is not None else None,
             )
-            for root, value in ranked
+            for root, value in self._ranking(by).top(n)
         )
 
     def _answer_cluster_profile(self, query: Query):
@@ -278,6 +311,7 @@ class QueryEngine:
             "cluster_tx_count": (
                 cluster_activity.tx_count if cluster_activity else 0
             ),
+            "cluster_rank": self._ranking("size").rank_of.get(root),
             "name": (
                 naming.name_of_address_id(ident) if naming is not None else None
             ),

@@ -29,6 +29,8 @@ view == batch property tests stream exactly this way).
 
 from __future__ import annotations
 
+from dataclasses import asdict
+
 from ..chain.index import ChainIndex
 from ..core.clustering import Clustering
 from ..core.heuristic2 import Heuristic2Config, dice_addresses_from_tags
@@ -62,6 +64,7 @@ class ForensicsService:
         """
         self.index = index
         self.tags = tags
+        self._custom_namer = name_of_address is not None
         self.engine = IncrementalClusteringEngine(
             index, h2_config=h2_config, dice_addresses=dice_addresses
         )
@@ -140,6 +143,89 @@ class ForensicsService:
         self.balances.detach()
         self.activity.detach()
         self.taint.detach()
+
+    # ------------------------------------------------------------------
+    # durable state (snapshot / restore)
+    # ------------------------------------------------------------------
+
+    STATE_VERSION = 1
+
+    def export_state(self) -> dict:
+        """The service-level configuration a snapshot must carry.
+
+        Component *state* (engine, views, chain) is exported by the
+        components themselves; this is everything else a restore needs
+        to reassemble an equivalent service: the H2 configuration, the
+        dice set, the tag store, and the cache/taint settings.
+        """
+        if self._custom_namer:
+            raise ValueError(
+                "cannot snapshot a service with a custom name_of_address "
+                "callable; only the default tag-map namer is serializable"
+            )
+        return {
+            "version": self.STATE_VERSION,
+            "h2_config": asdict(self.engine.h2_config),
+            "dice_addresses": sorted(self.engine.dice_addresses),
+            "min_taint": self.taint.min_taint,
+            "cache_size": self.cache.maxsize,
+            "tags": None if self.tags is None else self.tags.export_state(),
+        }
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        index: ChainIndex,
+        states: dict,
+        *,
+        follow: bool = True,
+    ) -> "ForensicsService":
+        """Reassemble a service from restored component states.
+
+        ``states`` maps component names (``service``, ``engine``,
+        ``balances``, ``activity``, ``taint``) to their exported state
+        dicts; ``index`` must be the restored chain at the snapshot
+        height.  Components subscribe to the index in the same order as
+        :meth:`__init__`, so a restored service streams tail blocks
+        exactly like the one that was snapshotted.
+        """
+        service_state = states["service"]
+        version = service_state.get("version")
+        if version != cls.STATE_VERSION:
+            raise ValueError(
+                f"unsupported service state version {version!r} "
+                f"(expected {cls.STATE_VERSION})"
+            )
+        tags_state = service_state["tags"]
+        tags = None if tags_state is None else TagStore.from_state(tags_state)
+        service = cls.__new__(cls)
+        service.index = index
+        service.tags = tags
+        service._custom_namer = False
+        service.engine = IncrementalClusteringEngine.from_state(
+            index,
+            states["engine"],
+            h2_config=Heuristic2Config(**service_state["h2_config"]),
+            dice_addresses=frozenset(service_state["dice_addresses"]),
+            follow=follow,
+        )
+        service.balances = BalanceView.from_state(
+            index, states["balances"], follow=follow
+        )
+        service.activity = ActivityView.from_state(
+            index, states["activity"], follow=follow
+        )
+        tag_map = tags.as_mapping() if tags is not None else {}
+        service.taint = TaintView.from_state(
+            index,
+            states["taint"],
+            name_of_address=tag_map.get,
+            min_taint=service_state["min_taint"],
+            follow=follow,
+        )
+        service.cache = QueryCache(service_state["cache_size"])
+        service.queries = QueryEngine(service)
+        return service
 
     # ------------------------------------------------------------------
     # the query API (see service/queries.py for answer shapes)

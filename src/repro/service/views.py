@@ -56,6 +56,18 @@ class MaterializedView:
         if follow:
             self._unsubscribe = index.subscribe(self._observe_block)
 
+    def _adopt(self, index: ChainIndex, height: int, follow: bool) -> None:
+        """Attach a snapshot-restored view to ``index`` at ``height``
+        without replaying the catch-up (its state is already warm)."""
+        if height != index.height:
+            raise ValueError(
+                f"view state is at height {height} but the index is at "
+                f"{index.height}"
+            )
+        self.index = index
+        self._height = height
+        self._unsubscribe = index.subscribe(self._observe_block) if follow else None
+
     @property
     def height(self) -> int:
         """Last height folded into the view (-1 before any block)."""
@@ -112,12 +124,11 @@ class BalanceView(MaterializedView):
             if tx.is_coinbase:
                 minted += tx.total_output_value
             else:
-                for txin in tx.inputs:
-                    prevout = txin.prevout
-                    prev_tx = index.tx(prevout.txid)
-                    ident = index.output_address_ids(prev_tx)[prevout.vout]
+                # The index memoized (address id, value) per consumed
+                # output at ingestion — no prevout re-resolution here.
+                for ident, value in index.input_spends(tx):
                     if ident >= 0:
-                        events.append((ident, -prev_tx.outputs[prevout.vout].value))
+                        events.append((ident, -value))
             out_ids = index.output_address_ids(tx)
             for out, ident in zip(tx.outputs, out_ids):
                 if ident >= 0:
@@ -129,6 +140,33 @@ class BalanceView(MaterializedView):
         self._events.append(events)
         self._coinbase.append(minted)
         self._supply.append((self._supply[-1] if self._supply else 0) + minted)
+
+    # -- durable state -------------------------------------------------
+
+    def export_state(self) -> dict:
+        """Plain-data state: balances, the event log, and issuance."""
+        return {
+            "height": self._height,
+            "balances": list(self._balances),
+            "events": [list(events) for events in self._events],
+            "coinbase": list(self._coinbase),
+            "supply": list(self._supply),
+        }
+
+    @classmethod
+    def from_state(
+        cls, index: ChainIndex, state: dict, *, follow: bool = True
+    ) -> "BalanceView":
+        """Rebuild a view from :meth:`export_state` output, no catch-up."""
+        view = cls.__new__(cls)
+        view._balances = list(state["balances"])
+        view._events = [
+            [tuple(event) for event in events] for events in state["events"]
+        ]
+        view._coinbase = list(state["coinbase"])
+        view._supply = list(state["supply"])
+        view._adopt(index, state["height"], follow)
+        return view
 
     # -- point queries -------------------------------------------------
 
@@ -254,6 +292,71 @@ class TaintView(MaterializedView):
                 if frontier is not None:
                     case.txs_processed += 1
 
+    # -- durable state -------------------------------------------------
+
+    def export_state(self) -> dict:
+        """Plain-data state: every watched case's live frontier.
+
+        ``name_of_address`` is deliberately *not* part of the state —
+        it is configuration (the service rewires it from the restored
+        tag store), and the view's equivalence contract already requires
+        it to be time-stable.
+        """
+        return {
+            "height": self._height,
+            "epoch": self.epoch,
+            "cases": [
+                (
+                    case.label,
+                    [(point.txid, point.vout) for point in case.sources],
+                    case.initial_taint,
+                    {
+                        (point.txid, point.vout): value
+                        for point, value in case.taint.items()
+                    },
+                    dict(case.at_entities),
+                    case.txs_processed,
+                )
+                for case in self._cases.values()
+            ],
+        }
+
+    @classmethod
+    def from_state(
+        cls,
+        index: ChainIndex,
+        state: dict,
+        *,
+        name_of_address=None,
+        min_taint: float = 1.0,
+        follow: bool = True,
+    ) -> "TaintView":
+        """Rebuild a view from :meth:`export_state` output, no catch-up.
+
+        Restored cases resume streaming immediately — no batch
+        re-propagation, which is exactly the recovery-time win the
+        state store exists for.
+        """
+        view = cls.__new__(cls)
+        view.name_of_address = name_of_address or (lambda _a: None)
+        view.min_taint = min_taint
+        view._cases = {}
+        view.epoch = state["epoch"]
+        for label, sources, initial, taint, at_entities, processed in state["cases"]:
+            view._cases[label] = TaintCase(
+                label=label,
+                sources=tuple(OutPoint(txid, vout) for txid, vout in sources),
+                initial_taint=initial,
+                taint={
+                    OutPoint(txid, vout): value
+                    for (txid, vout), value in taint.items()
+                },
+                at_entities=dict(at_entities),
+                txs_processed=processed,
+            )
+        view._adopt(index, state["height"], follow)
+        return view
+
     # -- case management ----------------------------------------------
 
     def watch(self, label: str, sources: list[OutPoint]) -> TaintCase:
@@ -359,6 +462,29 @@ class ActivityView(MaterializedView):
                 if first[ident] < 0:
                     first[ident] = height
                 last[ident] = height
+
+    # -- durable state -------------------------------------------------
+
+    def export_state(self) -> dict:
+        """Plain-data state: the three dense per-id arrays."""
+        return {
+            "height": self._height,
+            "tx_counts": list(self._tx_counts),
+            "first_seen": list(self._first_seen),
+            "last_seen": list(self._last_seen),
+        }
+
+    @classmethod
+    def from_state(
+        cls, index: ChainIndex, state: dict, *, follow: bool = True
+    ) -> "ActivityView":
+        """Rebuild a view from :meth:`export_state` output, no catch-up."""
+        view = cls.__new__(cls)
+        view._tx_counts = list(state["tx_counts"])
+        view._first_seen = list(state["first_seen"])
+        view._last_seen = list(state["last_seen"])
+        view._adopt(index, state["height"], follow)
+        return view
 
     # -- queries -------------------------------------------------------
 

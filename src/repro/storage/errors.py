@@ -1,0 +1,16 @@
+"""Errors raised by the durable state store."""
+
+from __future__ import annotations
+
+
+class StorageError(Exception):
+    """Base class for state-store failures."""
+
+
+class SnapshotIntegrityError(StorageError):
+    """A snapshot file is corrupt, truncated, or mismatched against its
+    manifest — the snapshot must not be restored."""
+
+
+class NoSnapshotError(StorageError):
+    """A restore was requested but the store holds no usable snapshot."""

@@ -1,0 +1,340 @@
+"""The state store: snapshot, restore, tail replay, retention.
+
+:class:`StateStore` turns a directory into durable analysis state for a
+:class:`~repro.service.service.ForensicsService`.  One snapshot is one
+subdirectory (``snap-<height>``) of per-component segment files plus a
+manifest, built atomically: segments are written and fsynced into a
+hidden scratch directory, the manifest (the commit point) is written
+last, and the directory is renamed into place — a crash mid-snapshot
+leaves either the previous snapshots untouched or an ignorable scratch
+directory, never a half-readable snapshot.
+
+Recovery is the inverse plus *tail replay*: :meth:`StateStore.warm_start`
+restores the newest snapshot (height ``h``) and re-ingests only blocks
+``h+1..`` from the block files through
+:meth:`ChainIndex.add_block <repro.chain.index.ChainIndex.add_block>`,
+so the restored engine and views stream the tail through the exact
+observer fan-out a never-restarted service used — which is why the
+equivalence property test can demand bit-for-bit identical answers.
+Recovery time is bounded by the snapshot size plus the tail length, not
+the chain length (``benchmarks/bench_snapshot_restore.py`` pins the
+payoff at ≥10× over cold replay).
+
+:class:`SnapshotPolicy` automates capture: attached *after* the service
+(so the fan-out order guarantees every component has folded the block
+first), it snapshots every ``every`` blocks and prunes to the ``retain``
+newest.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import shutil
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..chain.blockfile import BlockFileReader
+from ..chain.index import ChainIndex
+from ..service.service import ForensicsService
+from .errors import NoSnapshotError, SnapshotIntegrityError, StorageError
+from .manifest import (
+    MANIFEST_VERSION,
+    SnapshotManifest,
+    read_manifest,
+    write_manifest,
+)
+from .segments import read_segment, write_segment
+
+SNAPSHOT_PREFIX = "snap-"
+_SCRATCH_PREFIX = ".tmp-"
+
+COMPONENTS = ("chain", "engine", "balances", "activity", "taint", "service")
+"""Segment names, one per durable component of a forensics service."""
+
+
+@contextmanager
+def _bulk_allocation():
+    """Pause the cyclic GC across a bulk (de)serialization.
+
+    Exported states are acyclic plain data, but allocating hundreds of
+    thousands of containers in one burst trips repeated generation-2
+    collections — each of which walks every live object in the process
+    (the whole chain, in a serving process).  Pausing the collector for
+    the burst routinely cuts snapshot/restore wall time several-fold;
+    nothing allocated here is cyclic garbage, so nothing is lost.
+    """
+    if not gc.isenabled():
+        yield
+        return
+    gc.disable()
+    try:
+        yield
+    finally:
+        # Promote the burst's survivors out of the young generations
+        # before re-enabling: a young collect walks only the new plain
+        # data (cheap), so re-enabling doesn't schedule an imminent
+        # full collection whose old-heap walk would land on whatever
+        # the caller times next.
+        gc.collect(1)
+        gc.enable()
+
+
+@dataclass(frozen=True)
+class WarmStart:
+    """Result of :meth:`StateStore.warm_start`."""
+
+    service: ForensicsService
+    snapshot_height: int
+    tail_blocks: int
+
+    @property
+    def height(self) -> int:
+        """The service's height after tail replay."""
+        return self.service.height
+
+
+class StateStore:
+    """Snapshots of forensics-service state under one root directory."""
+
+    def __init__(self, root: str | os.PathLike[str]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # capture
+    # ------------------------------------------------------------------
+
+    def snapshot(self, service: ForensicsService) -> Path:
+        """Capture the full analysis state at the service's height.
+
+        Components must agree on the height (they always do between
+        blocks, and during fan-out for observers registered after the
+        service's own).  Re-snapshotting an existing height replaces the
+        old snapshot atomically.
+        """
+        height = service.height
+        if height < 0:
+            raise StorageError("cannot snapshot a service with no blocks")
+        for name, component_height in (
+            ("engine", service.engine.height),
+            ("balances", service.balances.height),
+            ("activity", service.activity.height),
+            ("taint", service.taint.height),
+        ):
+            if component_height != height:
+                raise StorageError(
+                    f"component {name} is at height {component_height}, "
+                    f"index at {height}; snapshot requires a consistent "
+                    f"service (is it detached?)"
+                )
+        final = self.root / f"{SNAPSHOT_PREFIX}{height:08d}"
+        scratch = self.root / f"{_SCRATCH_PREFIX}{final.name}-{os.getpid()}"
+        if scratch.exists():
+            shutil.rmtree(scratch)
+        scratch.mkdir(parents=True)
+        try:
+            index = service.index
+            with _bulk_allocation():
+                segments = self._write_segments(scratch, service)
+            manifest = SnapshotManifest(
+                height=height,
+                chain={
+                    "tx_count": index.tx_count,
+                    "address_count": index.address_count,
+                    "tip_timestamp": index.timestamp_at(height),
+                },
+                segments=segments,
+                created_unix=time.time(),
+                format_version=MANIFEST_VERSION,
+            )
+            write_manifest(scratch, manifest)
+            if final.exists():
+                shutil.rmtree(final)
+            os.rename(scratch, final)
+        except BaseException:
+            shutil.rmtree(scratch, ignore_errors=True)
+            raise
+        return final
+
+    @staticmethod
+    def _write_segments(scratch: Path, service: ForensicsService) -> dict:
+        return {
+            "chain": write_segment(scratch, "chain", service.index.export_state()),
+            "engine": write_segment(scratch, "engine", service.engine.export_state()),
+            "balances": write_segment(
+                scratch, "balances", service.balances.export_state()
+            ),
+            "activity": write_segment(
+                scratch, "activity", service.activity.export_state()
+            ),
+            "taint": write_segment(scratch, "taint", service.taint.export_state()),
+            "service": write_segment(scratch, "service", service.export_state()),
+        }
+
+    # ------------------------------------------------------------------
+    # discovery / retention
+    # ------------------------------------------------------------------
+
+    def snapshots(self) -> list[SnapshotManifest]:
+        """Manifests of every *valid* snapshot, oldest to newest.
+
+        Directories without a readable manifest (aborted captures,
+        foreign clutter) are skipped, not raised on — recovery should
+        fall back to the newest snapshot that actually committed.
+        """
+        found: list[SnapshotManifest] = []
+        for path in sorted(self.root.glob(f"{SNAPSHOT_PREFIX}*")):
+            if not path.is_dir():
+                continue
+            try:
+                found.append(read_manifest(path))
+            except SnapshotIntegrityError:
+                continue
+        found.sort(key=lambda manifest: manifest.height)
+        return found
+
+    def latest(self) -> SnapshotManifest | None:
+        """The newest valid snapshot, or ``None``."""
+        snapshots = self.snapshots()
+        return snapshots[-1] if snapshots else None
+
+    def prune(self, retain: int) -> list[Path]:
+        """Delete all but the ``retain`` newest snapshots; returns the
+        removed directories.  Scratch directories are always removed."""
+        if retain < 1:
+            raise ValueError("retain must be at least 1")
+        removed: list[Path] = []
+        for stale in self.root.glob(f"{_SCRATCH_PREFIX}*"):
+            shutil.rmtree(stale, ignore_errors=True)
+            removed.append(stale)
+        for manifest in self.snapshots()[:-retain]:
+            directory = manifest.directory
+            shutil.rmtree(directory)
+            removed.append(directory)
+        return removed
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+
+    def restore(
+        self,
+        snapshot: SnapshotManifest | None = None,
+        *,
+        follow: bool = True,
+    ) -> ForensicsService:
+        """Rebuild a live service from a snapshot (default: the newest).
+
+        Every segment is checksum-verified against the manifest before
+        a byte of it is deserialized; the restored components are
+        height-checked against each other.  The returned service is
+        immediately queryable at the snapshot height and, with
+        ``follow``, resumes streaming from the next ``add_block``.
+        """
+        if snapshot is None:
+            snapshot = self.latest()
+            if snapshot is None:
+                raise NoSnapshotError(f"no snapshots under {self.root}")
+        directory = snapshot.directory
+        states = {}
+        with _bulk_allocation():
+            for name in COMPONENTS:
+                record = snapshot.segments.get(name)
+                if record is None:
+                    raise SnapshotIntegrityError(
+                        f"snapshot {directory} lists no {name!r} segment"
+                    )
+                states[name] = read_segment(
+                    directory / record["file"],
+                    expected_name=name,
+                    expected_sha256=record["sha256"],
+                )
+            index = ChainIndex.restore_state(states["chain"])
+        if index.height != snapshot.height:
+            raise SnapshotIntegrityError(
+                f"snapshot {directory} manifest says height "
+                f"{snapshot.height} but the chain segment restores to "
+                f"{index.height}"
+            )
+        if index.tx_count != snapshot.chain.get("tx_count"):
+            raise SnapshotIntegrityError(
+                f"snapshot {directory} chain segment holds "
+                f"{index.tx_count} txs, manifest promises "
+                f"{snapshot.chain.get('tx_count')}"
+            )
+        return ForensicsService.from_snapshot(index, states, follow=follow)
+
+    def warm_start(
+        self,
+        blocks: str | os.PathLike[str],
+        *,
+        snapshot: SnapshotManifest | None = None,
+    ) -> WarmStart:
+        """Restore the newest snapshot, then tail-replay from block files.
+
+        ``blocks`` is a ``blk*.dat`` directory (or single file) holding
+        at least the snapshot's prefix; records past the snapshot height
+        are re-ingested through the normal observer fan-out.  The block
+        files below the resume point are skipped with frame arithmetic —
+        never parsed — so recovery cost is snapshot size + tail length.
+        """
+        service = self.restore(snapshot)
+        reader = BlockFileReader(blocks)
+        tail = 0
+        snapshot_height = service.height
+        for block in reader.iter_blocks(start_height=snapshot_height + 1):
+            service.index.add_block(block)
+            tail += 1
+        return WarmStart(
+            service=service,
+            snapshot_height=snapshot_height,
+            tail_blocks=tail,
+        )
+
+
+class SnapshotPolicy:
+    """Periodic snapshot capture with bounded retention.
+
+    Attach *after* the service is constructed: observers fire in
+    registration order, so the policy sees each block only when the
+    engine and every view have already folded it — the state it
+    captures is the consistent post-block state.  A snapshot failure
+    propagates out of ``add_block`` (the chain fan-out still notifies
+    every other observer first); durability problems should be loud.
+    """
+
+    def __init__(
+        self, store: StateStore, *, every: int = 100, retain: int = 3
+    ) -> None:
+        if every < 1:
+            raise ValueError("every must be at least 1")
+        if retain < 1:
+            raise ValueError("retain must be at least 1")
+        self.store = store
+        self.every = every
+        self.retain = retain
+        self.snapshots_taken = 0
+        self._unsubscribe = None
+
+    def attach(self, service: ForensicsService) -> "SnapshotPolicy":
+        """Start snapshotting ``service`` every ``every`` blocks."""
+        if self._unsubscribe is not None:
+            raise StorageError("policy is already attached")
+
+        def _on_block(block) -> None:
+            if (block.height + 1) % self.every == 0:
+                self.store.snapshot(service)
+                self.snapshots_taken += 1
+                self.store.prune(self.retain)
+
+        self._unsubscribe = service.index.subscribe(_on_block)
+        return self
+
+    def detach(self) -> None:
+        """Stop snapshotting (already-written snapshots remain)."""
+        if self._unsubscribe is not None:
+            self._unsubscribe()
+            self._unsubscribe = None

@@ -155,3 +155,21 @@ class TagStore:
         merged.add_all(self.all_tags())
         merged.add_all(other.all_tags())
         return merged
+
+    def export_state(self) -> list[tuple]:
+        """Every tag as a plain tuple, in per-address insertion order —
+        the shape the durable state store serializes."""
+        return [
+            (tag.address, tag.entity, tag.source, tag.confidence,
+             tag.observed_height)
+            for tag in self.all_tags()
+        ]
+
+    @classmethod
+    def from_state(cls, state: Iterable[tuple]) -> "TagStore":
+        """Rebuild a store from :meth:`export_state` output.  Re-adding
+        in exported order reproduces conflict resolution exactly."""
+        store = cls()
+        for address, entity, source, confidence, observed_height in state:
+            store.add(Tag(address, entity, source, confidence, observed_height))
+        return store

@@ -206,6 +206,61 @@ class TestCacheBehaviour:
             QueryCache(maxsize=0)
 
 
+class TestSharedRankingIndex:
+    """top_clusters and cluster_profile share one sorted index per
+    (height, metric) instead of re-ranking per distinct (n, by) pair."""
+
+    def test_distinct_n_share_one_ranking(self, small_world):
+        service = ForensicsService(small_world.index)
+        five = service.top_clusters(5, by="size")
+        key = (service.height, Query("_agg:ranking:size"))
+        assert key in service.cache
+        misses_after_build = service.cache.misses
+        ten = service.top_clusters(10, by="size")
+        twenty = service.top_clusters(20, by="size")
+        # Different n answers are prefixes of the same shared order...
+        assert ten[:5] == five
+        assert twenty[:10] == ten
+        # ...and no second ranking aggregate was ever built: the only
+        # misses after the first build are the new (n, by) answer keys.
+        assert service.cache.misses == misses_after_build + 2
+
+    def test_each_metric_gets_its_own_ranking(self, small_world):
+        service = ForensicsService(small_world.index)
+        for by in ("size", "balance", "activity"):
+            assert service.top_clusters(3, by=by)
+            assert (service.height, Query(f"_agg:ranking:{by}")) in service.cache
+
+    def test_ranking_matches_direct_sort(self, small_world):
+        service = ForensicsService(small_world.index)
+        sizes = service.clustering.component_sizes()
+        expected = sorted(sizes.items(), key=lambda kv: (-kv[1], kv[0]))[:8]
+        answered = [
+            (root, value) for root, value, _name in service.top_clusters(8)
+        ]
+        assert answered == expected
+
+    def test_profile_rank_reads_shared_index(self, small_world):
+        service = ForensicsService(small_world.index)
+        ranked = service.top_clusters(1, by="size")
+        top_root = ranked[0][0]
+        member = small_world.index.interner.address_of(
+            next(
+                ident
+                for ident in range(small_world.index.address_count)
+                if service.clustering.uf.find_root(ident) == top_root
+            )
+        )
+        profile = service.cluster_profile(member)
+        assert profile["cluster_rank"] == 1
+        assert profile["cluster"] == top_root
+
+    def test_unknown_metric_still_rejected(self, small_world):
+        service = ForensicsService(small_world.index)
+        with pytest.raises(ValueError, match="metric"):
+            service.answer(Query("top_clusters", (3, "charisma")))
+
+
 class TestParsing:
     def test_parse_address_queries(self):
         assert parse_query(["cluster-of", "1abc"]) == Query(

@@ -1,0 +1,125 @@
+"""Segment and manifest format: round-trip, versioning, fail-closed reads."""
+
+import json
+
+import pytest
+
+from repro.storage import (
+    SnapshotIntegrityError,
+    SnapshotManifest,
+    read_manifest,
+    read_segment,
+    write_manifest,
+    write_segment,
+)
+from repro.storage.manifest import MANIFEST_NAME
+from repro.storage.segments import SEGMENT_MAGIC, segment_filename
+
+
+@pytest.fixture
+def state():
+    return {
+        "version": 1,
+        "numbers": list(range(100)),
+        "pairs": [(i, bytes([i])) for i in range(20)],
+        "table": {b"\x00" * 32: (3, 7)},
+    }
+
+
+class TestSegmentRoundtrip:
+    def test_write_then_read(self, tmp_path, state):
+        record = write_segment(tmp_path, "chain", state)
+        path = tmp_path / record["file"]
+        assert path.name == segment_filename("chain")
+        assert path.stat().st_size == record["bytes"]
+        loaded = read_segment(
+            path, expected_name="chain", expected_sha256=record["sha256"]
+        )
+        assert loaded == state
+
+    def test_plain_data_types_survive_exactly(self, tmp_path, state):
+        record = write_segment(tmp_path, "chain", state)
+        loaded = read_segment(tmp_path / record["file"])
+        assert isinstance(loaded["pairs"][0], tuple)
+        assert isinstance(loaded["numbers"], list)
+        assert loaded["table"][b"\x00" * 32] == (3, 7)
+
+
+class TestSegmentFailsClosed:
+    def _write(self, tmp_path, state):
+        record = write_segment(tmp_path, "chain", state)
+        return tmp_path / record["file"], record
+
+    def test_flipped_payload_bit(self, tmp_path, state):
+        path, _record = self._write(tmp_path, state)
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0x01
+        path.write_bytes(bytes(raw))
+        with pytest.raises(SnapshotIntegrityError, match="checksum"):
+            read_segment(path)
+
+    def test_truncated_file(self, tmp_path, state):
+        path, _record = self._write(tmp_path, state)
+        path.write_bytes(path.read_bytes()[:-40])
+        with pytest.raises(SnapshotIntegrityError):
+            read_segment(path)
+
+    def test_wrong_magic(self, tmp_path, state):
+        path, _record = self._write(tmp_path, state)
+        raw = bytearray(path.read_bytes())
+        assert raw[:4] == SEGMENT_MAGIC
+        raw[0] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(SnapshotIntegrityError, match="magic"):
+            read_segment(path)
+
+    def test_wrong_component_name(self, tmp_path, state):
+        path, _record = self._write(tmp_path, state)
+        with pytest.raises(SnapshotIntegrityError, match="component"):
+            read_segment(path, expected_name="engine")
+
+    def test_manifest_sha_mismatch(self, tmp_path, state):
+        """A self-consistent segment swapped in from elsewhere is caught
+        by the manifest's expected checksum."""
+        path, _record = self._write(tmp_path, state)
+        other_dir = tmp_path / "other"
+        other_dir.mkdir()
+        other = write_segment(other_dir, "chain", {"version": 1})
+        with pytest.raises(SnapshotIntegrityError, match="manifest"):
+            read_segment(path, expected_sha256=other["sha256"])
+
+
+class TestManifest:
+    def _manifest(self):
+        return SnapshotManifest(
+            height=41,
+            chain={"tx_count": 10, "address_count": 4, "tip_timestamp": 99},
+            segments={"chain": {"file": "chain.seg", "bytes": 1, "sha256": "ab"}},
+            created_unix=1_700_000_000.0,
+        )
+
+    def test_roundtrip(self, tmp_path):
+        write_manifest(tmp_path, self._manifest())
+        loaded = read_manifest(tmp_path)
+        assert loaded.height == 41
+        assert loaded.chain["tx_count"] == 10
+        assert loaded.segments["chain"]["file"] == "chain.seg"
+        assert loaded.directory == tmp_path
+
+    def test_missing_manifest_is_integrity_error(self, tmp_path):
+        with pytest.raises(SnapshotIntegrityError, match="missing"):
+            read_manifest(tmp_path)
+
+    def test_unknown_format_version_rejected(self, tmp_path):
+        write_manifest(tmp_path, self._manifest())
+        path = tmp_path / MANIFEST_NAME
+        raw = json.loads(path.read_text())
+        raw["format_version"] = 999
+        path.write_text(json.dumps(raw))
+        with pytest.raises(SnapshotIntegrityError, match="version"):
+            read_manifest(tmp_path)
+
+    def test_garbage_json_rejected(self, tmp_path):
+        (tmp_path / MANIFEST_NAME).write_text("{not json")
+        with pytest.raises(SnapshotIntegrityError):
+            read_manifest(tmp_path)
