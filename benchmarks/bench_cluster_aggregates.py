@@ -1,0 +1,116 @@
+"""Differential cluster aggregates vs the per-block batch rebuild.
+
+The serving claim behind ``service/aggregates.py``: under *interleaved*
+traffic — a block ingested between every round of queries, the pattern
+the ROADMAP's heavy-traffic north star implies — the ranked and
+rolled-up cluster answers (``top_clusters``, ``cluster_profile``,
+``cluster_balance``) must not pay a full address-array pass per block.
+The differential view folds each block's churn and merge deltas, so its
+per-block serving work is O(block churn + merges); the batch path
+rebuilds every ``_agg:*`` aggregate (tip partition materialization,
+cluster balances, activity, canonical ids, rankings) on the first
+cluster query after each block.
+
+Both paths run from fresh state over the same 600-block chain and the
+same query stream, and every answer is cross-checked equal, so the
+speedup is not bought with different answers.  The acceptance bar is
+10× on the serving time; ingestion (chain + engine + views, common to
+both paths, plus the differential view's own maintenance) is measured
+and reported separately, and the differential path must also win on
+the combined wall clock — the view may not eat its own serving win.
+"""
+
+import random
+import time
+
+from repro.chain.index import ChainIndex
+from repro.service import ForensicsService, Query
+from repro.service.queries import TOP_CLUSTER_METRICS
+
+
+QUERIES_PER_BLOCK = 3
+
+
+def _block_queries(rng, interner, height):
+    queries = [
+        Query(
+            "top_clusters",
+            (10, TOP_CLUSTER_METRICS[height % len(TOP_CLUSTER_METRICS)]),
+        )
+    ]
+    for kind in ("cluster_profile", "cluster_balance"):
+        address = interner.address_of(rng.randrange(len(interner)))
+        queries.append(Query(kind, (address,)))
+    return queries
+
+
+def _run_interleaved(world, *, differential: bool):
+    """Fresh service; one block ingested between every query round."""
+    attack = world.extras.get("attack")
+    tags = attack.tags if attack is not None else None
+    rng = random.Random(17)
+    index = ChainIndex()
+    service = ForensicsService(
+        index, tags=tags, differential_aggregates=differential
+    )
+    ingest_seconds = serve_seconds = 0.0
+    answers = []
+    for block in world.blocks:
+        start = time.perf_counter()
+        index.add_block(block)
+        ingest_seconds += time.perf_counter() - start
+        queries = _block_queries(rng, index.interner, block.height)
+        start = time.perf_counter()
+        answers.append(service.answer_many(queries))
+        serve_seconds += time.perf_counter() - start
+    return ingest_seconds, serve_seconds, answers
+
+
+def test_differential_aggregates_beat_per_block_rebuild_10x(
+    bench_default_world, bench_report
+):
+    world = bench_default_world
+    n_blocks = world.index.height + 1
+    assert n_blocks >= 600
+
+    diff_ingest, diff_serve, diff_answers = _run_interleaved(
+        world, differential=True
+    )
+    batch_ingest, batch_serve, batch_answers = _run_interleaved(
+        world, differential=False
+    )
+
+    # Same stream, same answers — the property suite pins this per
+    # height; here it guards the benchmark itself.
+    assert diff_answers == batch_answers
+
+    serve_speedup = batch_serve / diff_serve
+    total_speedup = (batch_ingest + batch_serve) / (diff_ingest + diff_serve)
+    queries = n_blocks * QUERIES_PER_BLOCK
+    print(
+        f"\n{queries} queries interleaved with {n_blocks} block ingests:\n"
+        f"  differential: ingest {diff_ingest:.3f}s + serve "
+        f"{diff_serve:.3f}s ({queries / diff_serve:,.0f} q/s)\n"
+        f"  batch rebuild: ingest {batch_ingest:.3f}s + serve "
+        f"{batch_serve:.3f}s ({queries / batch_serve:,.0f} q/s)\n"
+        f"  serving speedup: ×{serve_speedup:,.1f}   "
+        f"combined: ×{total_speedup:,.1f}"
+    )
+    bench_report(
+        "cluster_aggregates",
+        {
+            "blocks": n_blocks,
+            "queries": queries,
+            "differential_ingest_seconds": diff_ingest,
+            "differential_serve_seconds": diff_serve,
+            "batch_ingest_seconds": batch_ingest,
+            "batch_serve_seconds": batch_serve,
+            "serve_speedup": serve_speedup,
+            "total_speedup": total_speedup,
+            "bound": 10.0,
+        },
+    )
+    # The acceptance bar: serving ≥10× over the per-block _agg rebuild,
+    # and the view's maintenance must not cancel the win overall.
+    assert diff_serve * 10 <= batch_serve
+    assert diff_ingest + diff_serve < batch_ingest + batch_serve

@@ -76,10 +76,40 @@ class _LiveLabel:
     """Height of the first disqualifying later input, or ``None`` while
     the label stands."""
 
+    settled_at: int | None = None
+    """Height at which the label became permanent — its wait window
+    closed unvoided (or its birth height when no window was configured).
+    ``None`` while the window is still open (the label is *voidable*).
+    Mutually exclusive with :attr:`voided_at`.  Differential consumers
+    key on this: a settled label's change link can be folded into
+    derived per-cluster state for good, an open one only overlaid."""
+
     def active_at(self, height: int) -> bool:
         return self.label.height <= height and (
             self.voided_at is None or self.voided_at > height
         )
+
+
+@dataclass(frozen=True)
+class ClusterBlockDelta:
+    """One block's clustering churn, for differential consumers.
+
+    Everything a per-cluster materialized view needs to fold a block
+    without re-reading the partition: the H1 merges the block applied
+    (in fold order, as ``(absorbed_root, kept_root)`` entries off the
+    engine's merge log), the labels born at the height, the labels a
+    later receive *voided* at the height, and the labels whose wait
+    window closed unvoided at the height (now permanent).  Every born
+    label is, at any later height, exactly one of open / voided /
+    settled, so ``base links (H1 + settled) ∪ open links`` always equals
+    the engine's active link set at the tip.
+    """
+
+    height: int
+    merges: tuple[tuple[int, int], ...]
+    born: tuple[_LiveLabel, ...]
+    voided: tuple[_LiveLabel, ...]
+    settled: tuple[_LiveLabel, ...]
 
 
 @dataclass(frozen=True)
@@ -129,6 +159,13 @@ class IncrementalClusteringEngine:
         self._max_id = -1
         self._labels: list[_LiveLabel] = []
         """All labels ever born, in chain order."""
+        self._label_marks: list[int] = []
+        """Labels born by the end of each height (birth order is chain
+        order, so each height's births are one contiguous slice)."""
+        self._voids_at: dict[int, list[_LiveLabel]] = {}
+        """height -> labels voided at that height (delta bookkeeping)."""
+        self._settles_at: dict[int, list[_LiveLabel]] = {}
+        """height -> labels that became permanent at that height."""
         self._watch: dict[int, list[_LiveLabel]] = {}
         """address id -> labels whose wait window is still open there."""
         self._watch_heap: list[tuple[int, int, _LiveLabel]] = []
@@ -200,7 +237,7 @@ class IncrementalClusteringEngine:
                     f"requires non-decreasing timestamps (use "
                     f"wait_seconds=None to cluster such chains)"
                 )
-            self._sweep_expired_watches(now)
+            self._sweep_expired_watches(now, height)
         self._last_timestamp = now
         for tx in block.transactions:
             # 1. Wait-rule voiding: a receive to a watched candidate at a
@@ -244,15 +281,28 @@ class IncrementalClusteringEngine:
                 heapq.heappush(
                     self._watch_heap, (live.deadline, len(self._labels), live)
                 )
+            else:
+                # No wait window: nothing can ever void the label, so it
+                # is permanent from birth.
+                live.settled_at = height
+                self._settles_at.setdefault(height, []).append(live)
         self._marks.append(uf.checkpoint())
         self._seen.append(self._max_id + 1)
+        self._label_marks.append(len(self._labels))
 
-    def _sweep_expired_watches(self, now: int) -> None:
+    def _sweep_expired_watches(self, now: int, height: int) -> None:
         """Drop watch entries whose wait window has closed (the labels
-        stand for good); each label is pushed and popped exactly once."""
+        stand for good); each label is pushed and popped exactly once.
+        Unvoided expirations are recorded as settling at ``height`` —
+        the block whose timestamp closed the window — which is the
+        moment differential consumers may fold the label's change link
+        into permanent per-cluster state."""
         heap = self._watch_heap
         while heap and heap[0][0] < now:
             _deadline, _seq, live = heapq.heappop(heap)
+            if live.voided_at is None:
+                live.settled_at = height
+                self._settles_at.setdefault(height, []).append(live)
             watchers = self._watch.get(live.address_id)
             if watchers is None:
                 continue
@@ -288,6 +338,7 @@ class IncrementalClusteringEngine:
                     still_open.append(live)
                 else:
                     live.voided_at = height
+                    self._voids_at.setdefault(height, []).append(live)
             if still_open:
                 self._watch[ident] = still_open
             else:
@@ -300,10 +351,54 @@ class IncrementalClusteringEngine:
         return is_dice_spend(self.index, tx, self.dice_addresses)
 
     # ------------------------------------------------------------------
+    # per-block deltas (differential consumers)
+    # ------------------------------------------------------------------
+
+    def cluster_delta(self, height: int) -> ClusterBlockDelta:
+        """One clustered block's churn, re-exposed off the merge log.
+
+        The H1 entries are the engine union-find's own
+        :meth:`~repro.core.union_find.IntUnionFind.log_span` between the
+        height's checkpoints — safe to read at any block boundary
+        because the engine's time-travel brackets
+        (:meth:`snapshot` / :meth:`cluster_as_of`) always restore the
+        log exactly (every rollback is balanced by an exact replay), so
+        a height's span never changes once the height is clustered.
+        Labels are the live objects (identity-shared with the engine's
+        watch state); consumers read, never mutate.
+        """
+        if not 0 <= height <= self.height:
+            raise IndexError(
+                f"height {height} outside clustered range 0..{self.height}"
+            )
+        merge_start = self._marks[height - 1] if height else 0
+        label_start = self._label_marks[height - 1] if height else 0
+        return ClusterBlockDelta(
+            height=height,
+            merges=tuple(self._uf.log_span(merge_start, self._marks[height])),
+            born=tuple(self._labels[label_start:self._label_marks[height]]),
+            voided=tuple(self._voids_at.get(height, ())),
+            settled=tuple(self._settles_at.get(height, ())),
+        )
+
+    def open_labels(self) -> list[_LiveLabel]:
+        """Labels still voidable at the tip (window open, unvoided).
+
+        Exactly the labels a differential consumer must *overlay* rather
+        than fold: their change links are part of the tip clustering but
+        may still disappear via the §4.2 wait rule.
+        """
+        return [
+            live
+            for live in self._labels
+            if live.voided_at is None and live.settled_at is None
+        ]
+
+    # ------------------------------------------------------------------
     # durable state (snapshot / restore)
     # ------------------------------------------------------------------
 
-    STATE_VERSION = 1
+    STATE_VERSION = 2
 
     def export_state(self) -> dict:
         """Flatten the engine into plain picklable data.
@@ -334,6 +429,7 @@ class IncrementalClusteringEngine:
                     live.input_id,
                     live.deadline,
                     live.voided_at,
+                    live.settled_at,
                 )
                 for live in self._labels
             ],
@@ -391,6 +487,7 @@ class IncrementalClusteringEngine:
                 input_id=input_id,
                 deadline=deadline,
                 voided_at=voided_at,
+                settled_at=settled_at,
             )
             for (
                 txid,
@@ -401,8 +498,27 @@ class IncrementalClusteringEngine:
                 input_id,
                 deadline,
                 voided_at,
+                settled_at,
             ) in state["labels"]
         ]
+        # Per-height delta indexes are derived data: rebuilt from the
+        # label fields rather than exported (one pass, no extra state).
+        engine._label_marks = []
+        engine._voids_at = {}
+        engine._settles_at = {}
+        born_so_far = 0
+        for height in range(len(engine._marks)):
+            while (
+                born_so_far < len(engine._labels)
+                and engine._labels[born_so_far].label.height == height
+            ):
+                born_so_far += 1
+            engine._label_marks.append(born_so_far)
+        for live in engine._labels:
+            if live.voided_at is not None:
+                engine._voids_at.setdefault(live.voided_at, []).append(live)
+            if live.settled_at is not None:
+                engine._settles_at.setdefault(live.settled_at, []).append(live)
         engine._watch = {
             address_id: [engine._labels[i] for i in watcher_indices]
             for address_id, watcher_indices in state["watch"].items()

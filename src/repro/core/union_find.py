@@ -130,6 +130,23 @@ class UnionFind:
         return clone
 
 
+class MergeCursor:
+    """A consumer's position in an :class:`IntUnionFind` merge log.
+
+    Created by :meth:`IntUnionFind.merge_cursor`; advanced by
+    :meth:`IntUnionFind.drain_merges`.  ``retracted`` counts merges the
+    cursor had already delivered that a later :meth:`IntUnionFind.rollback`
+    undid — the next drain reports it so the consumer can reconcile
+    (see ``drain_merges`` for the contract).
+    """
+
+    __slots__ = ("position", "retracted")
+
+    def __init__(self, position: int) -> None:
+        self.position = position
+        self.retracted = 0
+
+
 class IntUnionFind:
     """Array-backed disjoint sets over dense ids ``0..n-1`` with undo.
 
@@ -140,9 +157,16 @@ class IntUnionFind:
     are O(log n) worst case (union-by-size bounds tree depth), which the
     flat-list backing more than pays back against the dict-of-strings
     structure on the clustering hot path.
+
+    Consumers that maintain *derived* per-cluster state (the service's
+    differential cluster aggregates) subscribe to the merge log with
+    :meth:`merge_cursor` / :meth:`drain_merges` instead of re-scanning
+    members: each drained ``(absorbed_root, kept_root)`` entry is the
+    exact fold order for merging the smaller cluster's aggregate into
+    the larger's.
     """
 
-    __slots__ = ("_parent", "_size", "_components", "_log")
+    __slots__ = ("_parent", "_size", "_components", "_log", "_cursors")
 
     def __init__(self, n: int = 0) -> None:
         self._parent: list[int] = list(range(n))
@@ -150,6 +174,8 @@ class IntUnionFind:
         self._components = n
         self._log: list[tuple[int, int]] = []
         """Merge log: ``(absorbed_root, kept_root)`` per effective union."""
+        self._cursors: list[MergeCursor] = []
+        """Registered merge-log consumers (see :meth:`merge_cursor`)."""
 
     def ensure(self, n: int) -> None:
         """Grow the universe so ids ``0..n-1`` exist (as singletons)."""
@@ -232,7 +258,11 @@ class IntUnionFind:
     def rollback(self, token: int) -> list[tuple[int, int]]:
         """Undo every union after ``token``; ids added by :meth:`ensure`
         stay (as singletons).  Returns the undone log entries in
-        chronological order, suitable for :meth:`replay`."""
+        chronological order, suitable for :meth:`replay`.
+
+        Merge cursors past ``token`` are pulled back to it and their
+        ``retracted`` count bumped, so a drain-based consumer can never
+        silently miss that merges it already folded were undone."""
         undone = self._log[token:]
         parent = self._parent
         size = self._size
@@ -241,6 +271,10 @@ class IntUnionFind:
             size[kept] -= size[absorbed]
         self._components += len(undone)
         del self._log[token:]
+        for cursor in self._cursors:
+            if cursor.position > token:
+                cursor.retracted += cursor.position - token
+                cursor.position = token
         return undone
 
     def replay(self, entries: Iterable[tuple[int, int]]) -> None:
@@ -267,8 +301,56 @@ class IntUnionFind:
         """The first ``token`` merge-log entries (chronological)."""
         return self._log[:token]
 
+    def log_span(self, start: int, stop: int) -> list[tuple[int, int]]:
+        """Merge-log entries between two checkpoint tokens (chronological)."""
+        return self._log[start:stop]
+
+    # ------------------------------------------------------------------
+    # merge subscription (differential consumers)
+    # ------------------------------------------------------------------
+
+    def merge_cursor(self) -> MergeCursor:
+        """Register a merge-log consumer at the current log position.
+
+        The cursor sees only merges applied *after* registration; use
+        :meth:`drain_merges` to collect them.  Cursors are not part of
+        the durable state (:meth:`export_state` ignores them) and are
+        not carried over by :meth:`copy` — a consumer re-registers
+        against the structure it actually follows.
+        """
+        cursor = MergeCursor(len(self._log))
+        self._cursors.append(cursor)
+        return cursor
+
+    def drain_merges(self, cursor: MergeCursor) -> tuple[int, list[tuple[int, int]]]:
+        """Merges since the cursor's last drain, advancing the cursor.
+
+        Returns ``(retracted, entries)``: ``entries`` are the
+        ``(absorbed_root, kept_root)`` merges now in the log past the
+        cursor, in fold order; ``retracted`` counts previously drained
+        merges that a :meth:`rollback` undid since — the consumer must
+        un-apply its last ``retracted`` folds before applying
+        ``entries``.  A consumer that only drains at points where every
+        interleaved rollback was balanced by an exact :meth:`replay`
+        (the incremental engine's block boundaries) will observe the
+        retracted merges re-delivered verbatim at the head of
+        ``entries``, so fold-then-refold reconciliation is exact.
+        """
+        retracted = cursor.retracted
+        entries = self._log[cursor.position:]
+        cursor.position = len(self._log)
+        cursor.retracted = 0
+        return retracted, entries
+
+    def release_cursor(self, cursor: MergeCursor) -> None:
+        """Deregister a cursor (rollbacks stop adjusting it)."""
+        try:
+            self._cursors.remove(cursor)
+        except ValueError:
+            pass
+
     def copy(self) -> "IntUnionFind":
-        """An independent copy (log included)."""
+        """An independent copy (log included; merge cursors are not)."""
         clone = IntUnionFind()
         clone._parent = list(self._parent)
         clone._size = list(self._size)

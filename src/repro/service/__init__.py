@@ -9,8 +9,15 @@ for the query catalogue and the ``query``/``serve`` CLI commands for
 the command-line surface.
 """
 
+from .aggregates import ClusterAggregateView, RankIndex
 from .cache import QueryCache
-from .queries import Query, QueryEngine, format_answer, parse_query
+from .queries import (
+    ClusterRanking,
+    Query,
+    QueryEngine,
+    format_answer,
+    parse_query,
+)
 from .service import ForensicsService
 from .views import ActivityView, BalanceView, ClusterActivity, TaintCase, TaintView
 
@@ -18,10 +25,13 @@ __all__ = [
     "ActivityView",
     "BalanceView",
     "ClusterActivity",
+    "ClusterAggregateView",
+    "ClusterRanking",
     "ForensicsService",
     "Query",
     "QueryCache",
     "QueryEngine",
+    "RankIndex",
     "TaintCase",
     "TaintView",
     "format_answer",

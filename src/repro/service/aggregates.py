@@ -1,0 +1,571 @@
+"""Differential per-cluster aggregates: the merge-aware materialized view.
+
+Every ranked or rolled-up forensics answer — ``top_clusters``,
+``cluster_profile``, ``cluster_balance`` — needs whole-partition
+aggregates: per-cluster balance, activity, size, and a per-metric
+ranking.  The batch path rebuilds those from a full pass over every
+address array on the first query after each block, so per-block serving
+cost grows with chain size.  :class:`ClusterAggregateView` instead
+folds each block's *deltas* as it streams:
+
+* per-address balance/activity churn updates only the touched clusters;
+* H1 co-spend unions and settled H2 change links arrive as merge events
+  (:meth:`IncrementalClusteringEngine.cluster_delta
+  <repro.core.incremental.IncrementalClusteringEngine.cluster_delta>`,
+  itself re-exposing the
+  :meth:`IntUnionFind.drain_merges
+  <repro.core.union_find.IntUnionFind.drain_merges>` merge-log hook),
+  and each merge folds the absorbed cluster's aggregate into the kept
+  cluster's — O(1) per merge, never a member scan;
+* H2 labels whose §4.2 wait window is still open are *overlaid*, not
+  folded: a later receive may void them, so their change links join
+  clusters only in a small per-block overlay that is cheap to rebuild
+  (bounded by the open-window label count), while the fold-for-good
+  happens the block their window closes.
+
+Per-block maintenance is therefore O(block churn + merges + open
+labels), not O(addresses).
+
+Cluster identity is *canonical*: a cluster's public id is its minimum
+member address id (ids are dense and first-sight ordered, so this is
+the cluster's earliest-seen address).  Canonical ids are a pure
+function of the partition — independent of union order, restore
+history, or batch-vs-differential construction — which is what lets
+the property suite demand byte-equality between this view and the
+batch ``_agg`` rebuild, and what makes ranking tie-breaks stable (see
+:class:`~repro.service.queries.ClusterRanking`).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from dataclasses import dataclass
+
+from ..chain.index import ChainIndex
+from ..chain.model import Block
+from ..core.incremental import IncrementalClusteringEngine
+from ..core.union_find import IntUnionFind, UnionFind
+from .queries import ClusterRanking, TOP_CLUSTER_METRICS
+from .views import ClusterActivity, MaterializedView
+
+
+class RankIndex:
+    """One metric's live ranking: a sorted key list maintained by churn.
+
+    Keys are ``(-value, cluster id)`` so ascending list order is the
+    serving order: best value first, ties broken by the smallest
+    canonical cluster id.  Updates cost O(log n) to locate plus a
+    C-level ``memmove``; reads are slices (:meth:`top`) or a bisect
+    (:meth:`rank_of`) — no per-block re-sort anywhere.
+    """
+
+    __slots__ = ("_keys", "_values")
+
+    def __init__(self) -> None:
+        self._keys: list[tuple[int, int]] = []
+        self._values: dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __contains__(self, cluster_id: int) -> bool:
+        return cluster_id in self._values
+
+    def value_of(self, cluster_id: int) -> int | None:
+        return self._values.get(cluster_id)
+
+    def set(self, cluster_id: int, value: int) -> None:
+        """Insert or move one cluster's entry."""
+        old = self._values.get(cluster_id)
+        if old == value:
+            return
+        if old is not None:
+            del self._keys[bisect_left(self._keys, (-old, cluster_id))]
+        insort(self._keys, (-value, cluster_id))
+        self._values[cluster_id] = value
+
+    def discard(self, cluster_id: int) -> None:
+        """Drop one cluster's entry (no-op when absent)."""
+        old = self._values.pop(cluster_id, None)
+        if old is not None:
+            del self._keys[bisect_left(self._keys, (-old, cluster_id))]
+
+    def top(self, n: int) -> tuple[tuple[int, int], ...]:
+        """The best ``n`` entries as ``(cluster id, value)`` pairs."""
+        return tuple((cid, -neg) for neg, cid in self._keys[:n])
+
+    def rank_of(self, cluster_id: int) -> int | None:
+        """1-based rank of one cluster, or ``None`` if not ranked."""
+        value = self._values.get(cluster_id)
+        if value is None:
+            return None
+        return bisect_left(self._keys, (-value, cluster_id)) + 1
+
+    def as_ranking(self) -> ClusterRanking:
+        """Materialize the full, immutable per-height ranking object."""
+        order = tuple((cid, -neg) for neg, cid in self._keys)
+        return ClusterRanking(
+            order=order,
+            rank_of={cid: rank for rank, (cid, _value) in enumerate(order, 1)},
+        )
+
+
+@dataclass(frozen=True)
+class _OverlayGroup:
+    """Base clusters joined only by still-voidable H2 change links."""
+
+    cid: int
+    """Canonical id of the combined cluster (min over member minimums)."""
+
+    roots: tuple[int, ...]
+    """The base-partition roots the open links connect."""
+
+    size: int
+    balance: int
+    tx_count: int
+    first_seen: int
+    last_seen: int
+
+
+class ClusterAggregateView(MaterializedView):
+    """Streaming per-cluster balance/activity/size/ranking maintenance.
+
+    Attach *after* the service's
+    :class:`~repro.core.incremental.IncrementalClusteringEngine` (the
+    service constructor and snapshot-restore path both do): each block's
+    :meth:`_apply_block` pulls the engine's
+    :meth:`~repro.core.incremental.IncrementalClusteringEngine.cluster_delta`
+    for the height, so the engine must already have clustered it.
+
+    Internal structure: a *base* partition (own
+    :class:`~repro.core.union_find.IntUnionFind`) carrying H1 unions
+    plus permanently settled H2 change links, with per-base-root
+    aggregate arrays folded on every base merge via the union-find's
+    merge-cursor hook; plus a per-block *overlay* of open-window H2
+    links.  Base folds are irreversible (min/max folds have no inverse)
+    — which is exactly why voidable links never enter the base: a §4.2
+    void simply drops the link from the next block's overlay, and the
+    engine's own checkpoint/rollback time-travel brackets never leak in
+    (they restore the merge log exactly, and this view's base is never
+    rolled back — :meth:`_apply_block` refuses retractions loudly).
+    """
+
+    def __init__(
+        self,
+        index: ChainIndex,
+        *,
+        engine: IncrementalClusteringEngine,
+        follow: bool = True,
+    ) -> None:
+        self.engine = engine
+        self._uf = IntUnionFind()
+        """Base partition: H1 merges + settled change links."""
+        self._cursor = self._uf.merge_cursor()
+        """Fold hook: every base merge is drained into aggregate folds."""
+        self._balance: list[int] = []
+        """Per base root: summed member balance (junk at non-roots)."""
+        self._tx_count: list[int] = []
+        self._first: list[int] = []
+        self._last: list[int] = []
+        self._min_member: list[int] = []
+        """Per base root: minimum member id — the canonical cluster id."""
+        self._open: set = set()
+        """Open-window (still voidable) live labels, maintained from the
+        engine's per-block born/voided/settled deltas."""
+        self._overlay_groups: list[_OverlayGroup] = []
+        self._overlay_of: dict[int, _OverlayGroup] = {}
+        """base root -> the overlay group currently absorbing it."""
+        self._ranks: dict[str, RankIndex] = {
+            metric: RankIndex() for metric in TOP_CLUSTER_METRICS
+        }
+        super().__init__(index, follow=follow)
+
+    # ------------------------------------------------------------------
+    # streaming maintenance
+    # ------------------------------------------------------------------
+
+    def _apply_block(self, block: Block) -> None:
+        height = block.height
+        engine = self.engine
+        if engine.height < height:
+            raise ValueError(
+                f"engine is at height {engine.height} but block {height} "
+                f"arrived; attach ClusterAggregateView after a following "
+                f"engine (a detached engine, a refused non-monotonic "
+                f"block, or view-before-engine subscription order all "
+                f"leave the merge deltas missing)"
+            )
+        delta = engine.cluster_delta(height)
+        index = self.index
+        uf = self._uf
+        min_member = self._min_member
+
+        involved: set[int] = set()
+        old_cids: set[int] = set()
+
+        # 1. The previous block's overlay dissolves (it is rebuilt from
+        #    the current open-label set at the end of this block).
+        for group in self._overlay_groups:
+            old_cids.add(group.cid)
+            involved.update(group.roots)
+
+        # 2. One pass over the block: balance deltas, activity
+        #    incidences, and the new ids that grow the universe.  The
+        #    per-tx memos were seated at ingestion, so nothing here
+        #    re-resolves a prevout.
+        balance_deltas: dict[int, int] = {}
+        involvement: dict[int, int] = {}
+        max_id = len(uf) - 1
+        for tx in block.transactions:
+            out_ids = index.output_address_ids(tx)
+            if tx.is_coinbase:
+                touched = set()
+            else:
+                for ident, value in index.input_spends(tx):
+                    if ident >= 0:
+                        balance_deltas[ident] = (
+                            balance_deltas.get(ident, 0) - value
+                        )
+                touched = set(index.input_address_ids(tx))
+            for out, ident in zip(tx.outputs, out_ids):
+                if ident >= 0:
+                    balance_deltas[ident] = (
+                        balance_deltas.get(ident, 0) + out.value
+                    )
+                    touched.add(ident)
+                    if ident > max_id:
+                        max_id = ident
+            for ident in touched:
+                involvement[ident] = involvement.get(ident, 0) + 1
+        grown_from = len(uf)
+        if max_id >= grown_from:
+            uf.ensure(max_id + 1)
+            grow = max_id + 1 - grown_from
+            self._balance.extend([0] * grow)
+            self._tx_count.extend([0] * grow)
+            self._first.extend([-1] * grow)
+            self._last.extend([-1] * grow)
+            min_member.extend(range(grown_from, max_id + 1))
+            involved.update(range(grown_from, max_id + 1))
+
+        # 3. Open-label bookkeeping off the engine's delta: watched
+        #    births join the overlay set, voids and settles leave it.
+        open_set = self._open
+        for live in delta.born:
+            if live.deadline is not None:
+                open_set.add(live)
+        for live in delta.voided:
+            open_set.discard(live)
+        for live in delta.settled:
+            open_set.discard(live)
+        settle_links = [
+            live for live in delta.settled if live.input_id is not None
+        ]
+        open_links = [live for live in open_set if live.input_id is not None]
+
+        # 4. Everything this block can touch, and the canonical ids its
+        #    stale ranking entries currently sit under (resolved before
+        #    any mutation).
+        for absorbed, kept in delta.merges:
+            involved.add(absorbed)
+            involved.add(kept)
+        for live in settle_links:
+            involved.add(live.address_id)
+            involved.add(live.input_id)
+        for live in open_links:
+            involved.add(live.address_id)
+            involved.add(live.input_id)
+        involved.update(balance_deltas)
+        involved.update(involvement)
+        find = uf.find
+        for ident in involved:
+            old_cids.add(min_member[find(ident)])
+
+        # 5. Fold the block's merges into the base: H1 unions (replayed
+        #    off the engine's merge log) plus change links that settled
+        #    this block.  The merge cursor turns every *effective* base
+        #    merge into one aggregate fold, smaller into larger.
+        for absorbed, kept in delta.merges:
+            uf.union(absorbed, kept)
+        for live in settle_links:
+            uf.union(live.address_id, live.input_id)
+        retracted, folds = uf.drain_merges(self._cursor)
+        if retracted:
+            raise RuntimeError(
+                "cluster aggregate base was rolled back; folded "
+                "aggregates cannot be retracted"
+            )
+        balance = self._balance
+        tx_count = self._tx_count
+        first = self._first
+        last = self._last
+        for absorbed, kept in folds:
+            balance[kept] += balance[absorbed]
+            tx_count[kept] += tx_count[absorbed]
+            first_absorbed = first[absorbed]
+            if first_absorbed >= 0 and (
+                first[kept] < 0 or first_absorbed < first[kept]
+            ):
+                first[kept] = first_absorbed
+            if last[absorbed] > last[kept]:
+                last[kept] = last[absorbed]
+            if min_member[absorbed] < min_member[kept]:
+                min_member[kept] = min_member[absorbed]
+
+        # 6. Per-address churn folded at the post-merge roots.
+        for ident, change in balance_deltas.items():
+            if change:
+                balance[find(ident)] += change
+        for ident, hits in involvement.items():
+            root = find(ident)
+            tx_count[root] += hits
+            if first[root] < 0:
+                first[root] = height
+            last[root] = height
+
+        # 7. Rebuild the overlay from the open links (bounded by the
+        #    open-window label count) and refresh the rankings for
+        #    every touched cluster.
+        self._build_overlay(open_links)
+        grouped = self._overlay_of
+        new_entries: list[tuple[int, int, int, int]] = []
+        for root in {find(ident) for ident in involved}:
+            if root in grouped:
+                continue
+            new_entries.append(
+                (min_member[root], uf.size_of(root), balance[root],
+                 tx_count[root])
+            )
+        for group in self._overlay_groups:
+            new_entries.append(
+                (group.cid, group.size, group.balance, group.tx_count)
+            )
+        self._refresh_ranks(old_cids, new_entries)
+
+    def _build_overlay(self, open_links) -> None:
+        """Group base roots connected by open (voidable) change links."""
+        find = self._uf.find
+        grouping = UnionFind()
+        for live in open_links:
+            ra = find(live.address_id)
+            rb = find(live.input_id)
+            if ra != rb:
+                grouping.union(ra, rb)
+        groups: list[_OverlayGroup] = []
+        uf = self._uf
+        for roots in grouping.components().values():
+            # Every tracked root was unioned with a distinct partner, so
+            # components here always span at least two base clusters.
+            size = balance = tx_count = 0
+            first = last = -1
+            cid = None
+            for root in roots:
+                size += uf.size_of(root)
+                balance += self._balance[root]
+                tx_count += self._tx_count[root]
+                root_first = self._first[root]
+                if root_first >= 0 and (first < 0 or root_first < first):
+                    first = root_first
+                if self._last[root] > last:
+                    last = self._last[root]
+                root_min = self._min_member[root]
+                if cid is None or root_min < cid:
+                    cid = root_min
+            groups.append(
+                _OverlayGroup(
+                    cid=cid,
+                    roots=tuple(sorted(roots)),
+                    size=size,
+                    balance=balance,
+                    tx_count=tx_count,
+                    first_seen=first,
+                    last_seen=last,
+                )
+            )
+        self._overlay_groups = groups
+        self._overlay_of = {
+            root: group for group in groups for root in group.roots
+        }
+
+    def _refresh_ranks(
+        self,
+        old_cids: set[int],
+        new_entries: list[tuple[int, int, int, int]],
+    ) -> None:
+        """Apply one block's ranking churn: stale ids out, live ids in.
+
+        Inclusion mirrors the batch ``_agg`` builders exactly: ``size``
+        ranks every cluster in the universe; ``balance`` and
+        ``activity`` rank only clusters with a positive total (balances
+        are non-negative, so this equals the batch pass that skips
+        zero-balance member addresses).
+        """
+        ranks = self._ranks
+        new_cids = {entry[0] for entry in new_entries}
+        for cid in old_cids - new_cids:
+            for rank_index in ranks.values():
+                rank_index.discard(cid)
+        size_index = ranks["size"]
+        balance_index = ranks["balance"]
+        activity_index = ranks["activity"]
+        for cid, size, balance, tx_count in new_entries:
+            size_index.set(cid, size)
+            if balance > 0:
+                balance_index.set(cid, balance)
+            else:
+                balance_index.discard(cid)
+            if tx_count > 0:
+                activity_index.set(cid, tx_count)
+            else:
+                activity_index.discard(cid)
+
+    # ------------------------------------------------------------------
+    # queries (all at the view's height)
+    # ------------------------------------------------------------------
+
+    def cluster_id_of(self, ident: int | None) -> int | None:
+        """Canonical cluster id for an address id, or ``None`` if the id
+        is outside the view's universe."""
+        if ident is None or not 0 <= ident < len(self._uf):
+            return None
+        root = self._uf.find(ident)
+        group = self._overlay_of.get(root)
+        return group.cid if group is not None else self._min_member[root]
+
+    def _locate(self, cluster_id: int) -> tuple[int, _OverlayGroup | None]:
+        """Resolve a canonical id to its base root / overlay group."""
+        if not 0 <= cluster_id < len(self._uf):
+            raise KeyError(cluster_id)
+        root = self._uf.find(cluster_id)
+        return root, self._overlay_of.get(root)
+
+    def size_of_cluster(self, cluster_id: int) -> int:
+        root, group = self._locate(cluster_id)
+        return group.size if group is not None else self._uf.size_of(root)
+
+    def balance_of_cluster(self, cluster_id: int) -> int:
+        root, group = self._locate(cluster_id)
+        return group.balance if group is not None else self._balance[root]
+
+    def activity_of_cluster(self, cluster_id: int) -> ClusterActivity | None:
+        """Aggregate activity, or ``None`` for a never-active cluster
+        (matching the batch rollup, which skips zero-count clusters)."""
+        root, group = self._locate(cluster_id)
+        if group is not None:
+            if not group.tx_count:
+                return None
+            return ClusterActivity(
+                tx_count=group.tx_count,
+                first_seen=group.first_seen,
+                last_seen=group.last_seen,
+            )
+        if not self._tx_count[root]:
+            return None
+        return ClusterActivity(
+            tx_count=self._tx_count[root],
+            first_seen=self._first[root],
+            last_seen=self._last[root],
+        )
+
+    def _rank_index(self, by: str) -> RankIndex:
+        rank_index = self._ranks.get(by)
+        if rank_index is None:
+            raise ValueError(
+                f"ranking metric must be one of {TOP_CLUSTER_METRICS}"
+            )
+        return rank_index
+
+    def top(self, n: int, by: str) -> tuple[tuple[int, int], ...]:
+        """The best ``n`` clusters by one metric: ``(id, value)`` pairs."""
+        return self._rank_index(by).top(n)
+
+    def rank_of(self, by: str, cluster_id: int) -> int | None:
+        """1-based standing of one cluster under one metric."""
+        return self._rank_index(by).rank_of(cluster_id)
+
+    def ranking(self, by: str) -> ClusterRanking:
+        """Materialize one metric's full per-height ranking object."""
+        return self._rank_index(by).as_ranking()
+
+    @property
+    def cluster_count(self) -> int:
+        """Clusters at the tip (the size ranking covers every cluster)."""
+        return len(self._ranks["size"])
+
+    # ------------------------------------------------------------------
+    # durable state (snapshot / restore)
+    # ------------------------------------------------------------------
+
+    def export_state(self) -> dict:
+        """Plain-data state: the base partition and its fold arrays.
+
+        The overlay, open-label set, and rank indexes are *derived*
+        (from the engine's open labels and the base aggregates) and are
+        rebuilt on restore — exporting them would only create a second
+        source of truth to keep consistent.
+        """
+        return {
+            "height": self._height,
+            "uf": self._uf.export_state(),
+            "balance": list(self._balance),
+            "tx_count": list(self._tx_count),
+            "first_seen": list(self._first),
+            "last_seen": list(self._last),
+            "min_member": list(self._min_member),
+        }
+
+    @classmethod
+    def from_state(
+        cls,
+        index: ChainIndex,
+        state: dict,
+        *,
+        engine: IncrementalClusteringEngine,
+        follow: bool = True,
+    ) -> "ClusterAggregateView":
+        """Rebuild a view from :meth:`export_state` output, no catch-up.
+
+        ``engine`` must be the restored engine at the same height — the
+        open-label overlay is reconstructed from its live label state,
+        so restored rankings are identical to the exporting view's.
+        """
+        view = cls.__new__(cls)
+        view.engine = engine
+        view._uf = IntUnionFind.from_state(state["uf"])
+        view._cursor = view._uf.merge_cursor()
+        view._balance = list(state["balance"])
+        view._tx_count = list(state["tx_count"])
+        view._first = list(state["first_seen"])
+        view._last = list(state["last_seen"])
+        view._min_member = list(state["min_member"])
+        if engine.height != state["height"]:
+            raise ValueError(
+                f"aggregate state is at height {state['height']} but the "
+                f"engine is at {engine.height}"
+            )
+        view._open = set(engine.open_labels())
+        view._rebuild_derived()
+        view._adopt(index, state["height"], follow)
+        return view
+
+    def _rebuild_derived(self) -> None:
+        """Reconstruct overlay groups and rank indexes from base state."""
+        open_links = [
+            live for live in self._open if live.input_id is not None
+        ]
+        self._build_overlay(open_links)
+        self._ranks = {metric: RankIndex() for metric in TOP_CLUSTER_METRICS}
+        entries: list[tuple[int, int, int, int]] = []
+        grouped = self._overlay_of
+        for root, size in self._uf.component_sizes().items():
+            if root in grouped:
+                continue
+            entries.append(
+                (self._min_member[root], size, self._balance[root],
+                 self._tx_count[root])
+            )
+        for group in self._overlay_groups:
+            entries.append(
+                (group.cid, group.size, group.balance, group.tx_count)
+            )
+        self._refresh_ranks(set(), entries)

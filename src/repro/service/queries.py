@@ -6,17 +6,18 @@ cache key shape — covering the paper's interactive forensics questions:
 ===================  ==========================  =============================
 kind                 args                        answer
 ===================  ==========================  =============================
-``cluster_of``       ``(address,)``              cluster root id or ``None``
+``cluster_of``       ``(address,)``              canonical cluster id or
+                                                 ``None``
 ``balance_of``       ``(address,)``              satoshis currently held
 ``cluster_balance``  ``(address,)``              satoshis held by the whole
                                                  cluster containing address
 ``trace_taint``      ``(label,)``                theft-taint summary: initial /
                                                  unspent taint, entities
                                                  reached with amounts
-``top_clusters``     ``(n, by)``                 ``((root, value, name), ...)``
-                                                 ranked by ``size`` |
+``top_clusters``     ``(n, by)``                 ``((cluster id, value, name),
+                                                 ...)`` ranked by ``size`` |
                                                  ``balance`` | ``activity``
-``cluster_profile``  ``(address,)``              dict: cluster root, size,
+``cluster_profile``  ``(address,)``              dict: cluster id, size,
                                                  balances, activity, rank,
                                                  name
 ===================  ==========================  =============================
@@ -25,15 +26,27 @@ kind                 args                        answer
 answer is memoized in the height-keyed LRU
 (:class:`~repro.service.cache.QueryCache`), so repeats against an
 unchanged tip are dictionary hits and a new block invalidates by
-construction.  Whole-partition aggregates (cluster balances, activity,
-naming) are themselves cached under reserved ``_agg:*`` queries, which
-is what makes ``top_clusters`` after ``cluster_profile`` nearly free.
-Ranked queries share one sorted index per ``(height, metric)`` — a
-:class:`ClusterRanking` under ``_agg:ranking:*`` — so ``top_clusters``
-with any ``n`` slices the same sort and ``cluster_profile`` reads its
-cluster's rank from it instead of re-ranking per distinct ``(n, by)``
-pair.  :meth:`QueryEngine.answer_many` additionally groups a batch by
-kind so same-view queries share one round of partition/view lookups.
+construction.
+
+Cluster ids in answers are **canonical**: a cluster is identified by
+its minimum member address id (dense first-sight interned ids, so this
+is the cluster's earliest-seen address).  Canonical ids depend only on
+the partition — not on union order, restores, or which maintenance
+path produced the answer — which keeps ranking tie-breaks stable and
+makes the differential and batch paths byte-comparable.
+
+Cluster-level questions are served, whenever the service's
+:class:`~repro.service.aggregates.ClusterAggregateView` is live at the
+tip, straight from its differentially maintained per-cluster state and
+rank indexes — O(answer) per query, O(block churn + merges) per block.
+When the view is absent or behind the tip (detached, or a historical
+horizon below its live height), the engine falls back to the batch
+rebuild: whole-partition aggregates (cluster balances, activity,
+canonical ids, names) cached under reserved ``_agg:*`` queries, with
+one shared :class:`ClusterRanking` per ``(height, metric)`` under
+``_agg:ranking:*``.  :meth:`QueryEngine.answer_many` additionally
+groups a batch by kind so same-view queries share one round of
+partition/view lookups.
 
 Answers are plain data and must be treated as immutable — they are
 shared by every caller that hits the same cache entry.
@@ -42,6 +55,8 @@ shared by every caller that hits the same cache entry.
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+from ..tagging.naming import ranked_entities
 
 QUERY_KINDS = (
     "cluster_of",
@@ -70,13 +85,22 @@ class ClusterRanking:
     Built once per ``(height, metric)`` and shared by every query that
     ranks: ``top_clusters`` answers are prefixes of :attr:`order`, and
     ``cluster_profile`` reads a cluster's standing from :attr:`rank_of`.
+
+    **Tie-break contract:** clusters with equal metric values rank by
+    ascending canonical cluster id — the cluster's minimum member
+    address id, i.e. its earliest-seen address.  Canonical ids are a
+    pure function of the partition, so the order is identical across
+    batch rebuilds, snapshot restores, and differential maintenance
+    (pinned by ``tests/service/test_ranking_determinism.py``).
     """
 
     order: tuple[tuple[int, int], ...]
-    """``(root, value)`` pairs, best first (ties broken by root id)."""
+    """``(canonical cluster id, value)`` pairs, best first (ties broken
+    by ascending canonical id; see the class docstring)."""
 
     rank_of: dict[int, int]
-    """``root -> 1-based rank`` over every cluster in :attr:`order`."""
+    """``canonical id -> 1-based rank`` over every cluster in
+    :attr:`order`."""
 
     def top(self, n: int) -> tuple[tuple[int, int], ...]:
         """The best ``n`` entries (the whole ranking if ``n`` exceeds it)."""
@@ -193,7 +217,20 @@ class QueryEngine:
                 answers[position] = self.answer(queries[position])
         return answers
 
-    # -- cached whole-partition aggregates -----------------------------
+    # -- differential fast path ----------------------------------------
+
+    def _live_aggregates(self):
+        """The service's differential cluster-aggregate view, when it is
+        live at the tip — otherwise ``None`` and cluster answers fall
+        back to the batch ``_agg`` rebuild (the only remaining use of
+        that path: views that are detached or behind the tip, i.e.
+        historical horizons below the view's live height)."""
+        view = self.service.aggregates
+        if view is not None and view.height == self.service.height:
+            return view
+        return None
+
+    # -- cached whole-partition aggregates (batch fallback) ------------
 
     def _aggregate(self, name: str, build):
         cache = self.service.cache
@@ -221,8 +258,61 @@ class QueryEngine:
             ),
         )
 
-    def _naming(self):
-        return self._aggregate("naming", self.service.build_naming)
+    def _canonical(self) -> dict[int, int]:
+        """Batch fallback: partition root -> canonical cluster id."""
+        return self._aggregate("canonical", self._build_canonical)
+
+    def _build_canonical(self) -> dict[int, int]:
+        find_root = self.service.clustering.uf.find_root
+        canonical: dict[int, int] = {}
+        for ident in range(len(self.service.clustering.uf)):
+            root = find_root(ident)
+            if root not in canonical:
+                # Ids ascend, so a root's first member is its minimum.
+                canonical[root] = ident
+        return canonical
+
+    def _cluster_names(self) -> dict[int, str] | None:
+        """``canonical id -> name`` at the tip, or ``None`` without tags.
+
+        Same winner rule as :class:`~repro.tagging.naming.ClusterNaming`
+        (both call :func:`~repro.tagging.naming.ranked_entities`), keyed
+        by canonical cluster id so both maintenance paths serve
+        identical names."""
+        return self._aggregate("cluster_names", self._build_cluster_names)
+
+    def _build_cluster_names(self) -> dict[int, str] | None:
+        tags = self.service.tags
+        if tags is None:
+            return None
+        view = self._live_aggregates()
+        if view is not None:
+            id_of = self.service.index.interner.id_of
+
+            def resolve(address: str) -> int | None:
+                return view.cluster_id_of(id_of(address))
+
+        else:
+            canonical = self._canonical()
+            find_root = self.service.clustering.uf.find_root
+
+            def resolve(address: str) -> int | None:
+                root = find_root(address)
+                return None if root is None else canonical[root]
+
+        weights: dict[int, dict[str, float]] = {}
+        for tag in tags.all_tags():
+            cluster_id = resolve(tag.address)
+            if cluster_id is None:
+                continue
+            entity_weights = weights.setdefault(cluster_id, {})
+            entity_weights[tag.entity] = (
+                entity_weights.get(tag.entity, 0.0) + tag.confidence
+            )
+        return {
+            cluster_id: ranked_entities(entity_weights)[0][0]
+            for cluster_id, entity_weights in weights.items()
+        }
 
     def _ranking(self, by: str) -> ClusterRanking:
         """The shared per-height sorted index for one metric."""
@@ -233,6 +323,10 @@ class QueryEngine:
         return self._aggregate(f"ranking:{by}", lambda: self._build_ranking(by))
 
     def _build_ranking(self, by: str) -> ClusterRanking:
+        view = self._live_aggregates()
+        if view is not None:
+            return view.ranking(by)
+        canonical = self._canonical()
         if by == "size":
             metric = self.service.clustering.component_sizes()
         elif by == "balance":
@@ -242,19 +336,36 @@ class QueryEngine:
                 root: activity.tx_count
                 for root, activity in self._cluster_activity().items()
             }
-        order = tuple(sorted(metric.items(), key=lambda kv: (-kv[1], kv[0])))
-        rank_of = {root: rank for rank, (root, _value) in enumerate(order, 1)}
+        order = tuple(
+            sorted(
+                ((canonical[root], value) for root, value in metric.items()),
+                key=lambda kv: (-kv[1], kv[0]),
+            )
+        )
+        rank_of = {cid: rank for rank, (cid, _value) in enumerate(order, 1)}
         return ClusterRanking(order=order, rank_of=rank_of)
 
     # -- handlers ------------------------------------------------------
 
     def _answer_cluster_of(self, query: Query):
-        return self.service.clustering.cluster_of(query.args[0])
+        view = self._live_aggregates()
+        if view is not None:
+            ident = self.service.index.interner.id_of(query.args[0])
+            return view.cluster_id_of(ident)
+        root = self.service.clustering.cluster_of(query.args[0])
+        return None if root is None else self._canonical()[root]
 
     def _answer_balance_of(self, query: Query):
         return self.service.balances.balance_of(query.args[0])
 
     def _answer_cluster_balance(self, query: Query):
+        view = self._live_aggregates()
+        if view is not None:
+            ident = self.service.index.interner.id_of(query.args[0])
+            cluster_id = view.cluster_id_of(ident)
+            if cluster_id is None:
+                return None
+            return view.balance_of_cluster(cluster_id)
         root = self.service.clustering.cluster_of(query.args[0])
         if root is None:
             return None
@@ -277,43 +388,61 @@ class QueryEngine:
 
     def _answer_top_clusters(self, query: Query):
         n, by = query.args
-        naming = self._naming()
+        names = self._cluster_names()
+        view = self._live_aggregates()
+        entries = view.top(n, by) if view is not None else self._ranking(by).top(n)
         return tuple(
             (
-                root,
+                cluster_id,
                 value,
-                naming.name_of_cluster(root) if naming is not None else None,
+                names.get(cluster_id) if names is not None else None,
             )
-            for root, value in self._ranking(by).top(n)
+            for cluster_id, value in entries
         )
 
     def _answer_cluster_profile(self, query: Query):
         address = query.args[0]
         service = self.service
-        clustering = service.clustering
-        root = clustering.cluster_of(address)
-        if root is None:
-            return None
         ident = service.index.interner.id_of(address)
+        if ident is None:
+            return None
+        view = self._live_aggregates()
+        if view is not None:
+            cluster_id = view.cluster_id_of(ident)
+            if cluster_id is None:
+                return None
+            cluster_size = view.size_of_cluster(cluster_id)
+            cluster_balance = view.balance_of_cluster(cluster_id)
+            cluster_activity = view.activity_of_cluster(cluster_id)
+            cluster_rank = view.rank_of("size", cluster_id)
+        else:
+            clustering = service.clustering
+            root = clustering.uf.find_root(ident)
+            if root is None:
+                return None
+            cluster_id = self._canonical()[root]
+            cluster_size = clustering.uf.size_of(root)
+            cluster_balance = self._cluster_balances().get(root, 0)
+            cluster_activity = self._cluster_activity().get(root)
+            cluster_rank = self._ranking("size").rank_of.get(cluster_id)
         seen = service.activity.seen_range_of_id(ident)
-        cluster_activity = self._cluster_activity().get(root)
-        naming = self._naming()
+        names = self._cluster_names()
         return {
             "address": address,
             "address_id": ident,
-            "cluster": root,
-            "cluster_size": clustering.uf.size_of(root),
+            "cluster": cluster_id,
+            "cluster_size": cluster_size,
             "balance": service.balances.balance_of_id(ident),
-            "cluster_balance": self._cluster_balances().get(root, 0),
+            "cluster_balance": cluster_balance,
             "tx_count": service.activity.tx_count_of_id(ident),
             "first_seen": seen[0] if seen else None,
             "last_seen": seen[1] if seen else None,
             "cluster_tx_count": (
                 cluster_activity.tx_count if cluster_activity else 0
             ),
-            "cluster_rank": self._ranking("size").rank_of.get(root),
+            "cluster_rank": cluster_rank,
             "name": (
-                naming.name_of_address_id(ident) if naming is not None else None
+                names.get(cluster_id) if names is not None else None
             ),
         }
 

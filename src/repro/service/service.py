@@ -35,8 +35,8 @@ from ..chain.index import ChainIndex
 from ..core.clustering import Clustering
 from ..core.heuristic2 import Heuristic2Config, dice_addresses_from_tags
 from ..core.incremental import IncrementalClusteringEngine
-from ..tagging.naming import ClusterNaming
 from ..tagging.tags import TagStore
+from .aggregates import ClusterAggregateView
 from .cache import QueryCache
 from .queries import Query, QueryEngine
 from .views import ActivityView, BalanceView, TaintView
@@ -55,18 +55,33 @@ class ForensicsService:
         name_of_address=None,
         min_taint: float = 1.0,
         cache_size: int = 4096,
+        differential_aggregates: bool = True,
     ) -> None:
         """``tags`` drives cluster naming (profiles, top-cluster labels)
         and, unless ``name_of_address`` overrides it, the taint stop
         condition.  The taint namer must be *stable over chain growth*
         for streamed state to equal batch recomputation, so it defaults
         to direct tag lookups — not height-dependent cluster naming.
+
+        ``differential_aggregates=False`` skips the
+        :class:`~repro.service.aggregates.ClusterAggregateView`, forcing
+        every cluster query onto the batch ``_agg`` rebuild path — the
+        benchmark baseline and the fallback-path test fixture; such a
+        service cannot be snapshotted.
         """
         self.index = index
         self.tags = tags
         self._custom_namer = name_of_address is not None
         self.engine = IncrementalClusteringEngine(
             index, h2_config=h2_config, dice_addresses=dice_addresses
+        )
+        # The aggregate view folds each block's merge deltas, so it must
+        # observe blocks after the engine (subscription order is
+        # registration order).
+        self.aggregates = (
+            ClusterAggregateView(index, engine=self.engine)
+            if differential_aggregates
+            else None
         )
         self.balances = BalanceView(index)
         self.activity = ActivityView(index)
@@ -124,14 +139,6 @@ class ForensicsService:
         """The tip clustering (memoized per height inside the engine)."""
         return self.engine.cluster_as_of()
 
-    def build_naming(self) -> ClusterNaming | None:
-        """Cluster naming over the tip clustering, or ``None`` without
-        tags.  Cached per height by the query engine — call through
-        queries, not per lookup."""
-        if self.tags is None:
-            return None
-        return ClusterNaming(self.clustering, self.tags)
-
     def watch_theft(self, label: str, theft_txids) -> None:
         """Register a theft case: taint every output of the given
         transactions and keep the frontier warm from here on."""
@@ -140,6 +147,8 @@ class ForensicsService:
     def detach(self) -> None:
         """Stop following the index (state freezes at current height)."""
         self.engine.detach()
+        if self.aggregates is not None:
+            self.aggregates.detach()
         self.balances.detach()
         self.activity.detach()
         self.taint.detach()
@@ -209,6 +218,12 @@ class ForensicsService:
             dice_addresses=frozenset(service_state["dice_addresses"]),
             follow=follow,
         )
+        service.aggregates = ClusterAggregateView.from_state(
+            index,
+            states["aggregates"],
+            engine=service.engine,
+            follow=follow,
+        )
         service.balances = BalanceView.from_state(
             index, states["balances"], follow=follow
         )
@@ -268,6 +283,12 @@ class ForensicsService:
         return {
             "height": self.height,
             "addresses": self.index.address_count,
+            "clusters": (
+                self.aggregates.cluster_count
+                if self.aggregates is not None
+                and self.aggregates.height == self.height
+                else None
+            ),
             "taint_cases": len(self.taint.labels),
             **{f"cache_{k}": v for k, v in self.cache.stats().items()},
         }

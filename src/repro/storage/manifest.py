@@ -26,7 +26,10 @@ from .errors import SnapshotIntegrityError
 
 MANIFEST_NAME = "MANIFEST.json"
 MANIFEST_FORMAT = "repro-state-snapshot"
-MANIFEST_VERSION = 1
+MANIFEST_VERSION = 2
+"""Snapshot layout version.  2 added the ``aggregates`` segment (the
+differential cluster-aggregate view) and the engine's settled-label
+field; version-1 snapshots are rejected rather than part-restored."""
 
 
 @dataclass(frozen=True)

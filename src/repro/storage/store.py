@@ -51,7 +51,15 @@ from .segments import read_segment, write_segment
 SNAPSHOT_PREFIX = "snap-"
 _SCRATCH_PREFIX = ".tmp-"
 
-COMPONENTS = ("chain", "engine", "balances", "activity", "taint", "service")
+COMPONENTS = (
+    "chain",
+    "engine",
+    "aggregates",
+    "balances",
+    "activity",
+    "taint",
+    "service",
+)
 """Segment names, one per durable component of a forensics service."""
 
 
@@ -118,8 +126,15 @@ class StateStore:
         height = service.height
         if height < 0:
             raise StorageError("cannot snapshot a service with no blocks")
+        if service.aggregates is None:
+            raise StorageError(
+                "cannot snapshot a service built with "
+                "differential_aggregates=False; the aggregates segment "
+                "is part of the snapshot format"
+            )
         for name, component_height in (
             ("engine", service.engine.height),
+            ("aggregates", service.aggregates.height),
             ("balances", service.balances.height),
             ("activity", service.activity.height),
             ("taint", service.taint.height),
@@ -164,6 +179,9 @@ class StateStore:
         return {
             "chain": write_segment(scratch, "chain", service.index.export_state()),
             "engine": write_segment(scratch, "engine", service.engine.export_state()),
+            "aggregates": write_segment(
+                scratch, "aggregates", service.aggregates.export_state()
+            ),
             "balances": write_segment(
                 scratch, "balances", service.balances.export_state()
             ),

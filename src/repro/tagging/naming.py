@@ -17,8 +17,21 @@ from __future__ import annotations
 from collections import defaultdict
 from dataclasses import dataclass, field
 
+from typing import Mapping
+
 from ..core.clustering import Clustering
 from .tags import TagStore
+
+
+def ranked_entities(weights: Mapping[str, float]) -> list[tuple[str, float]]:
+    """Entities by descending summed tag confidence, ties by name.
+
+    The single source of the naming winner rule: index 0 is the entity
+    a cluster is named after, the rest are its conflicts.  Shared by
+    :class:`ClusterNaming` and the query service's canonical-keyed
+    cluster-name aggregate so both naming paths can never diverge.
+    """
+    return sorted(weights.items(), key=lambda kv: (-kv[1], kv[0]))
 
 
 @dataclass
@@ -75,7 +88,7 @@ class ClusterNaming:
             weight_by_root[root][tag.entity] += tag.confidence
             count_by_root[root] += 1
         for root, weights in weight_by_root.items():
-            ranked = sorted(weights.items(), key=lambda kv: (-kv[1], kv[0]))
+            ranked = ranked_entities(weights)
             winner, _ = ranked[0]
             conflicts = tuple(name for name, _ in ranked[1:])
             self._named[root] = NamedCluster(

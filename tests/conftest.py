@@ -1,12 +1,31 @@
 """Shared fixtures: simulated worlds are expensive, so they are built
-once per session and shared read-only across tests."""
+once per session and shared read-only across tests.
+
+Also registers the hypothesis settings profiles: ``default`` (library
+defaults — the per-commit CI budget) and ``nightly`` (many more
+examples, no deadline — the scheduled workflow's deep sweep over the
+property suites).  Select with ``HYPOTHESIS_PROFILE=nightly``.
+"""
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.pipeline import AnalystView
 from repro.simulation import scenarios
+
+settings.register_profile("default", settings())
+settings.register_profile(
+    "nightly",
+    max_examples=400,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    print_blob=True,
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 
 @pytest.fixture(scope="session")

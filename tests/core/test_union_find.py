@@ -244,3 +244,93 @@ class TestIntProperties:
         for token, expected in zip(reversed(tokens), reversed(snapshots)):
             uf.rollback(token)
             assert uf.component_sizes() == expected
+
+
+class TestMergeCursors:
+    """The merge-subscriber hook differential consumers fold from."""
+
+    def test_drain_sees_only_merges_after_registration(self):
+        uf = IntUnionFind(6)
+        uf.union(0, 1)
+        cursor = uf.merge_cursor()
+        retracted, entries = uf.drain_merges(cursor)
+        assert (retracted, entries) == (0, [])
+        kept = uf.union(2, 3)
+        absorbed = 3 if kept == 2 else 2
+        uf.union(4, 4)  # no-op unions never reach the log
+        retracted, entries = uf.drain_merges(cursor)
+        assert retracted == 0
+        assert entries == [(absorbed, kept)]
+        assert uf.drain_merges(cursor) == (0, [])
+
+    def test_rollback_reports_retractions(self):
+        uf = IntUnionFind(6)
+        cursor = uf.merge_cursor()
+        token = uf.checkpoint()
+        uf.union(0, 1)
+        uf.union(2, 3)
+        _, drained = uf.drain_merges(cursor)
+        assert len(drained) == 2
+        uf.rollback(token)
+        retracted, entries = uf.drain_merges(cursor)
+        assert retracted == 2
+        assert entries == []
+        # A rollback that never crossed the cursor reports nothing.
+        uf.union(0, 1)
+        uf.drain_merges(cursor)
+        uf.rollback(uf.checkpoint())
+        assert uf.drain_merges(cursor) == (0, [])
+
+    def test_balanced_bracket_redelivers_verbatim(self):
+        """rollback + exact replay (the engine's time-travel bracket):
+        the retracted merges come back verbatim at the head of the next
+        drain, so fold-then-refold reconciliation is exact."""
+        uf = IntUnionFind(8)
+        cursor = uf.merge_cursor()
+        token = uf.checkpoint()
+        uf.union(0, 1)
+        uf.union(1, 2)
+        _, first = uf.drain_merges(cursor)
+        suffix = uf.rollback(token)
+        uf.replay(suffix)
+        retracted, entries = uf.drain_merges(cursor)
+        assert retracted == len(first) == 2
+        assert entries == first
+
+    def test_release_and_copy_isolation(self):
+        uf = IntUnionFind(4)
+        cursor = uf.merge_cursor()
+        clone = uf.copy()
+        clone.union(0, 1)  # clones carry no cursors
+        assert uf.drain_merges(cursor) == (0, [])
+        uf.release_cursor(cursor)
+        token = uf.checkpoint()
+        uf.union(0, 1)
+        uf.rollback(token)
+        assert cursor.retracted == 0  # released: rollbacks ignore it
+
+    @given(
+        st.lists(
+            st.one_of(
+                st.tuples(st.integers(0, 15), st.integers(0, 15)),
+                st.just("drain"),
+            ),
+            max_size=40,
+        )
+    )
+    def test_drains_concatenate_to_the_log(self, steps):
+        """Without rollbacks, the concatenation of all drains plus the
+        final pending tail is exactly the merge log since registration."""
+        uf = IntUnionFind(16)
+        cursor = uf.merge_cursor()
+        collected = []
+        for step in steps:
+            if step == "drain":
+                retracted, entries = uf.drain_merges(cursor)
+                assert retracted == 0
+                collected.extend(entries)
+            else:
+                uf.union(*step)
+        _, tail = uf.drain_merges(cursor)
+        collected.extend(tail)
+        assert collected == uf.log_prefix(uf.checkpoint())

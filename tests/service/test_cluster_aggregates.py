@@ -1,0 +1,208 @@
+"""Differential cluster aggregates == batch ``_agg`` rebuild, per height.
+
+The tentpole property, in the PR 1/PR 2 style: stream a world's chain
+block by block with the :class:`ClusterAggregateView` folding deltas,
+and at *every* height compare its state against the batch full rebuild
+over the tip partition — per-cluster balances, activity, sizes, and the
+complete :class:`ClusterRanking` order for every metric in
+``TOP_CLUSTER_METRICS``.  Cluster identity is canonical (minimum member
+address id), so equality here is exact object equality, not merely
+shape-compatible.
+
+The hypothesis case randomizes the simulated scenario (seed, length,
+roster size), so the sweep covers H1-only blocks, H2 births, §4.2 wait
+voids, window expiries, and merges folding previously independent
+aggregates — under ``HYPOTHESIS_PROFILE=nightly`` it runs hundreds of
+worlds.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+import pytest
+
+from repro.chain.index import ChainIndex
+from repro.service import ClusterAggregateView, ClusterRanking, ForensicsService, Query
+from repro.service.queries import TOP_CLUSTER_METRICS
+from repro.simulation import scenarios
+
+
+def batch_cluster_aggregates(service):
+    """The batch full-rebuild ground truth at the service's tip, keyed
+    by canonical cluster id: (sizes, balances, activity)."""
+    uf = service.clustering.uf
+    canonical: dict[int, int] = {}
+    for ident in range(len(uf)):
+        canonical.setdefault(uf.find_root(ident), ident)
+    sizes = {
+        canonical[root]: size
+        for root, size in uf.component_sizes().items()
+    }
+    balances = {
+        canonical[root]: balance
+        for root, balance in service.balances.cluster_balances(uf).items()
+    }
+    activity = {
+        canonical[root]: rollup
+        for root, rollup in service.activity.cluster_activity(uf).items()
+    }
+    return sizes, balances, activity
+
+
+def batch_ranking(metric: dict) -> ClusterRanking:
+    order = tuple(sorted(metric.items(), key=lambda kv: (-kv[1], kv[0])))
+    return ClusterRanking(
+        order=order,
+        rank_of={cid: rank for rank, (cid, _v) in enumerate(order, 1)},
+    )
+
+
+def assert_view_equals_batch(service):
+    view = service.aggregates
+    assert view.height == service.height
+    sizes, balances, activity = batch_cluster_aggregates(service)
+    assert view.ranking("size") == batch_ranking(sizes)
+    assert view.ranking("balance") == batch_ranking(balances)
+    assert view.ranking("activity") == batch_ranking(
+        {cid: rollup.tx_count for cid, rollup in activity.items()}
+    )
+    for cid, size in sizes.items():
+        assert view.size_of_cluster(cid) == size
+        assert view.balance_of_cluster(cid) == balances.get(cid, 0)
+        assert view.activity_of_cluster(cid) == activity.get(cid)
+
+
+class TestDifferentialEqualsBatchAtEveryHeight:
+    @settings(deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10 ** 6),
+        n_blocks=st.integers(min_value=6, max_value=30),
+        n_users=st.integers(min_value=3, max_value=8),
+    )
+    def test_random_scenarios(self, seed, n_blocks, n_users):
+        world = scenarios.micro_economy(
+            seed=seed, n_blocks=n_blocks, n_users=n_users
+        )
+        target = ChainIndex()
+        service = ForensicsService(target, tags=None)
+        for block in world.blocks:
+            target.add_block(block)
+            assert_view_equals_batch(service)
+
+    def test_default_world_with_tags(self, micro_world):
+        """One full-roster streamed pass with naming in play: every
+        cluster-level answer is byte-equal between the differential
+        path and a batch-only service, at every height."""
+        attack = micro_world.extras.get("attack")
+        tags = attack.tags if attack is not None else None
+        diff_index, batch_index = ChainIndex(), ChainIndex()
+        diff = ForensicsService(diff_index, tags=tags)
+        batch = ForensicsService(
+            batch_index, tags=tags, differential_aggregates=False
+        )
+        assert diff.aggregates is not None
+        assert batch.aggregates is None
+        for block in micro_world.blocks[:48]:
+            diff_index.add_block(block)
+            batch_index.add_block(block)
+            for by in TOP_CLUSTER_METRICS:
+                query = Query("top_clusters", (20, by))
+                assert repr(diff.answer(query)) == repr(batch.answer(query))
+            interner = diff_index.interner
+            for ident in range(0, len(interner), 9):
+                address = interner.address_of(ident)
+                for kind in (
+                    "cluster_of",
+                    "cluster_balance",
+                    "cluster_profile",
+                ):
+                    query = Query(kind, (address,))
+                    assert repr(diff.answer(query)) == repr(
+                        batch.answer(query)
+                    ), (block.height, kind, address)
+
+
+class TestMergeHookAndTimeTravel:
+    def test_view_survives_interleaved_time_travel(self, micro_world):
+        """The engine's snapshot()/cluster_as_of() brackets roll its
+        merge log back and forth between blocks; the view's per-height
+        deltas must be immune (the brackets restore the log exactly)."""
+        target = ChainIndex()
+        service = ForensicsService(target, tags=None)
+        for block in micro_world.blocks[:36]:
+            target.add_block(block)
+            height = block.height
+            # Exercise rollback/replay across the whole clustered range.
+            service.engine.snapshot(height // 2)
+            service.engine.cluster_as_of(max(0, height - 3))
+            service.top_clusters(5, by="balance")
+        assert_view_equals_batch(service)
+
+    def test_view_requires_engine_ahead(self, micro_world):
+        """Attaching the view to an index the engine does not follow
+        fails loudly instead of folding stale deltas."""
+        source = micro_world.index
+        target = ChainIndex()
+        service = ForensicsService(target, tags=None)
+        service.engine.detach()
+        with pytest.raises(ValueError, match="attach ClusterAggregateView"):
+            target.add_block(source.block_at(0))
+
+    def test_fold_retraction_refused(self, micro_world):
+        """The view's base partition is never rolled back; a retraction
+        surfacing at its merge cursor is a bug, not a silent unfold."""
+        target = ChainIndex()
+        service = ForensicsService(target, tags=None)
+        view = service.aggregates
+        fed = 0
+        for block in micro_world.blocks:
+            target.add_block(block)
+            fed += 1
+            if view._uf.checkpoint() > 0:  # some base merges happened
+                break
+        assert view._uf.checkpoint() > 0
+        view._uf.rollback(0)
+        with pytest.raises(RuntimeError, match="rolled back"):
+            target.add_block(micro_world.index.block_at(fed))
+
+
+class TestFallbackBelowLiveHeight:
+    def test_detached_view_falls_back_to_batch_rebuild(self, micro_world):
+        """A view frozen below the tip must not serve stale rankings:
+        the query engine falls back to the batch ``_agg`` rebuild and
+        still answers exactly."""
+        source = micro_world.index
+        target = ChainIndex()
+        service = ForensicsService(target, tags=None)
+        reference = ForensicsService(
+            ChainIndex(), tags=None, differential_aggregates=False
+        )
+        for block in micro_world.blocks[:20]:
+            target.add_block(block)
+            reference.index.add_block(block)
+        service.aggregates.detach()
+        for block in micro_world.blocks[20:24]:
+            target.add_block(block)
+            reference.index.add_block(block)
+        assert service.aggregates.height == 19
+        assert service.height == 23
+        assert service.queries._live_aggregates() is None
+        for by in TOP_CLUSTER_METRICS:
+            assert service.top_clusters(10, by=by) == reference.top_clusters(
+                10, by=by
+            )
+        # The fallback built the batch aggregates under _agg:* keys.
+        assert (
+            service.height,
+            Query("_agg:ranking:size"),
+        ) in service.cache
+
+    def test_stats_report_cluster_count_only_when_live(self, micro_world):
+        target = ChainIndex()
+        service = ForensicsService(target, tags=None)
+        for block in micro_world.blocks[:10]:
+            target.add_block(block)
+        live = service.stats()
+        assert live["clusters"] == service.aggregates.cluster_count > 0
+        service.aggregates.detach()
+        target.add_block(micro_world.index.block_at(10))
+        assert service.stats()["clusters"] is None

@@ -54,10 +54,15 @@ class TestAnswersAgainstBatch:
     def test_cluster_balance_sums_members(self, service):
         clusters = service.clustering.clusters()
         index = service.index
+        interner = index.interner
         for a in _sample_addresses(index, n=10):
-            root = service.cluster_of(a)
-            expected = sum(index.address(m).balance for m in clusters[root])
+            members = clusters[service.clustering.uf.find(a)]
+            expected = sum(index.address(m).balance for m in members)
             assert service.cluster_balance(a) == expected
+            # The public cluster id is canonical: the minimum member id.
+            assert service.cluster_of(a) == min(
+                interner.id_of(m) for m in members
+            )
 
     def test_top_clusters_by_size_matches_largest_clusters(self, service):
         expected = service.clustering.largest_clusters(5)
@@ -208,10 +213,18 @@ class TestCacheBehaviour:
 
 class TestSharedRankingIndex:
     """top_clusters and cluster_profile share one sorted index per
-    (height, metric) instead of re-ranking per distinct (n, by) pair."""
+    (height, metric) instead of re-ranking per distinct (n, by) pair.
+
+    Pins the *batch fallback* path (``differential_aggregates=False``):
+    with the live aggregate view attached, rankings come from its
+    per-metric indexes and the ``_agg:ranking:*`` entries are never
+    built (tests/service/test_cluster_aggregates.py pins both paths
+    equal)."""
 
     def test_distinct_n_share_one_ranking(self, small_world):
-        service = ForensicsService(small_world.index)
+        service = ForensicsService(
+            small_world.index, differential_aggregates=False
+        )
         five = service.top_clusters(5, by="size")
         key = (service.height, Query("_agg:ranking:size"))
         assert key in service.cache
@@ -226,39 +239,50 @@ class TestSharedRankingIndex:
         assert service.cache.misses == misses_after_build + 2
 
     def test_each_metric_gets_its_own_ranking(self, small_world):
-        service = ForensicsService(small_world.index)
+        service = ForensicsService(
+            small_world.index, differential_aggregates=False
+        )
         for by in ("size", "balance", "activity"):
             assert service.top_clusters(3, by=by)
             assert (service.height, Query(f"_agg:ranking:{by}")) in service.cache
 
     def test_ranking_matches_direct_sort(self, small_world):
-        service = ForensicsService(small_world.index)
-        sizes = service.clustering.component_sizes()
+        service = ForensicsService(
+            small_world.index, differential_aggregates=False
+        )
+        uf = service.clustering.uf
+        canonical: dict[int, int] = {}
+        for ident in range(len(uf)):
+            canonical.setdefault(uf.find_root(ident), ident)
+        sizes = {
+            canonical[root]: size
+            for root, size in service.clustering.component_sizes().items()
+        }
         expected = sorted(sizes.items(), key=lambda kv: (-kv[1], kv[0]))[:8]
         answered = [
-            (root, value) for root, value, _name in service.top_clusters(8)
+            (cid, value) for cid, value, _name in service.top_clusters(8)
         ]
         assert answered == expected
 
     def test_profile_rank_reads_shared_index(self, small_world):
-        service = ForensicsService(small_world.index)
-        ranked = service.top_clusters(1, by="size")
-        top_root = ranked[0][0]
-        member = small_world.index.interner.address_of(
-            next(
-                ident
-                for ident in range(small_world.index.address_count)
-                if service.clustering.uf.find_root(ident) == top_root
-            )
+        service = ForensicsService(
+            small_world.index, differential_aggregates=False
         )
+        ranked = service.top_clusters(1, by="size")
+        top_cluster = ranked[0][0]
+        # The canonical id is itself a member id of the cluster.
+        member = small_world.index.interner.address_of(top_cluster)
         profile = service.cluster_profile(member)
         assert profile["cluster_rank"] == 1
-        assert profile["cluster"] == top_root
+        assert profile["cluster"] == top_cluster
 
     def test_unknown_metric_still_rejected(self, small_world):
-        service = ForensicsService(small_world.index)
-        with pytest.raises(ValueError, match="metric"):
-            service.answer(Query("top_clusters", (3, "charisma")))
+        for differential in (False, True):
+            service = ForensicsService(
+                small_world.index, differential_aggregates=differential
+            )
+            with pytest.raises(ValueError, match="metric"):
+                service.answer(Query("top_clusters", (3, "charisma")))
 
 
 class TestParsing:
