@@ -13,13 +13,27 @@ cluster query after each block.
 
 Both paths run from fresh state over the same 600-block chain and the
 same query stream, and every answer is cross-checked equal, so the
-speedup is not bought with different answers.  The acceptance bar is
-10× on the serving time; ingestion (chain + engine + views, common to
-both paths, plus the differential view's own maintenance) is measured
-and reported separately, and the differential path must also win on
-the combined wall clock — the view may not eat its own serving win.
+speedup is not bought with different answers.  Three bars hold at once:
+
+* serving ≥ ``SERVE_SPEEDUP_BOUND`` over the per-block ``_agg`` rebuild;
+* combined (ingest + serve) ≥ ``TOTAL_SPEEDUP_BOUND`` — the view's own
+  maintenance may not eat its serving win;
+* differential ingest ≤ ``INGEST_OVERHEAD_BOUND`` × batch ingest — the
+  ingest hot path shares one :class:`~repro.chain.delta.BlockDelta`
+  per block across the whole observer fan-out and defers aggregate
+  maintenance to flush, so attaching the differential view must stay
+  nearly free at ``add_block`` time.  A regression that re-walks
+  transactions per subscriber or drags rank upkeep back into the
+  observer callback fails this bound instead of hiding behind the
+  serve speedup.
+
+The shared world's ``TxOut`` address memos are warmed before either
+timed run (first-touch script extraction belongs to neither path), and
+GC is disabled inside the timed regions so collector pauses are not
+misattributed to whichever phase allocates past a threshold.
 """
 
+import gc
 import random
 import time
 
@@ -29,6 +43,16 @@ from repro.service.queries import TOP_CLUSTER_METRICS
 
 
 QUERIES_PER_BLOCK = 3
+SERVE_SPEEDUP_BOUND = 10.0
+TOTAL_SPEEDUP_BOUND = 12.0
+INGEST_OVERHEAD_BOUND = 1.25
+
+
+def _warm_world(world) -> None:
+    for block in world.blocks:
+        for tx in block.transactions:
+            for out in tx.outputs:
+                out.address
 
 
 def _block_queries(rng, interner, height):
@@ -53,16 +77,21 @@ def _run_interleaved(world, *, differential: bool):
     service = ForensicsService(
         index, tags=tags, differential_aggregates=differential
     )
-    ingest_seconds = serve_seconds = 0.0
-    answers = []
-    for block in world.blocks:
-        start = time.perf_counter()
-        index.add_block(block)
-        ingest_seconds += time.perf_counter() - start
-        queries = _block_queries(rng, index.interner, block.height)
-        start = time.perf_counter()
-        answers.append(service.answer_many(queries))
-        serve_seconds += time.perf_counter() - start
+    gc.collect()
+    gc.disable()
+    try:
+        ingest_seconds = serve_seconds = 0.0
+        answers = []
+        for block in world.blocks:
+            start = time.perf_counter()
+            index.add_block(block)
+            ingest_seconds += time.perf_counter() - start
+            queries = _block_queries(rng, index.interner, block.height)
+            start = time.perf_counter()
+            answers.append(service.answer_many(queries))
+            serve_seconds += time.perf_counter() - start
+    finally:
+        gc.enable()
     return ingest_seconds, serve_seconds, answers
 
 
@@ -72,6 +101,7 @@ def test_differential_aggregates_beat_per_block_rebuild_10x(
     world = bench_default_world
     n_blocks = world.index.height + 1
     assert n_blocks >= 600
+    _warm_world(world)
 
     diff_ingest, diff_serve, diff_answers = _run_interleaved(
         world, differential=True
@@ -86,6 +116,7 @@ def test_differential_aggregates_beat_per_block_rebuild_10x(
 
     serve_speedup = batch_serve / diff_serve
     total_speedup = (batch_ingest + batch_serve) / (diff_ingest + diff_serve)
+    ingest_overhead = diff_ingest / batch_ingest
     queries = n_blocks * QUERIES_PER_BLOCK
     print(
         f"\n{queries} queries interleaved with {n_blocks} block ingests:\n"
@@ -94,7 +125,8 @@ def test_differential_aggregates_beat_per_block_rebuild_10x(
         f"  batch rebuild: ingest {batch_ingest:.3f}s + serve "
         f"{batch_serve:.3f}s ({queries / batch_serve:,.0f} q/s)\n"
         f"  serving speedup: ×{serve_speedup:,.1f}   "
-        f"combined: ×{total_speedup:,.1f}"
+        f"combined: ×{total_speedup:,.1f}   "
+        f"ingest overhead: ×{ingest_overhead:.2f}"
     )
     bench_report(
         "cluster_aggregates",
@@ -107,10 +139,16 @@ def test_differential_aggregates_beat_per_block_rebuild_10x(
             "batch_serve_seconds": batch_serve,
             "serve_speedup": serve_speedup,
             "total_speedup": total_speedup,
-            "bound": 10.0,
+            "ingest_overhead_ratio": ingest_overhead,
+            "bound": SERVE_SPEEDUP_BOUND,
+            "total_speedup_bound": TOTAL_SPEEDUP_BOUND,
+            "ingest_overhead_bound": INGEST_OVERHEAD_BOUND,
         },
     )
-    # The acceptance bar: serving ≥10× over the per-block _agg rebuild,
-    # and the view's maintenance must not cancel the win overall.
-    assert diff_serve * 10 <= batch_serve
-    assert diff_ingest + diff_serve < batch_ingest + batch_serve
+    # The acceptance bars: serving ≥10× over the per-block _agg rebuild,
+    # the combined wall clock ≥12× (maintenance may not cancel the win),
+    # and ingest overhead ≤1.25× (the shared-delta fan-out keeps the
+    # differential view nearly free at add_block time).
+    assert diff_serve * SERVE_SPEEDUP_BOUND <= batch_serve
+    assert total_speedup >= TOTAL_SPEEDUP_BOUND
+    assert diff_ingest <= batch_ingest * INGEST_OVERHEAD_BOUND

@@ -1,0 +1,164 @@
+"""The shared per-block ingest plan: one transaction walk per block.
+
+Before this module, every streaming subscriber on the
+:meth:`ChainIndex.subscribe <repro.chain.index.ChainIndex.subscribe>`
+fan-out — the incremental clustering engine, the balance/activity/taint
+views, the differential cluster aggregates — independently re-walked
+``block.transactions`` and re-resolved the same per-tx id memos
+(``input_address_ids`` / ``output_address_ids`` / ``input_spends``),
+so a five-consumer service paid five transaction walks per ingested
+block.  :func:`build_block_delta` runs that walk exactly once, inside
+``add_block``, and flattens everything the whole observer fan-out needs
+into one immutable, id-space :class:`BlockDelta`:
+
+* per-tx sender-id tuples (:attr:`TxDelta.input_ids`) and the aligned
+  ``(address id, value)`` spend debits (:attr:`TxDelta.input_spends`);
+* per-tx output-address ids aligned with ``tx.outputs``
+  (:attr:`TxDelta.output_ids`, -1 for exotic scripts) — the engine's
+  §4.2 voiding pass reads these instead of re-extracting scripts;
+* per-tx *deduplicated* involved-address lists (:attr:`TxDelta.involved`)
+  so incidence consumers never build a throwaway ``set`` per tx;
+* the block's flat balance event log (:attr:`BlockDelta.events`,
+  ``(address id, signed delta)`` in fold order: per tx, spend debits
+  then output credits) plus coinbase issuance (:attr:`BlockDelta.minted`);
+* the block-level deduplicated involved set
+  (:attr:`BlockDelta.involved`) and its maximum address id
+  (:attr:`BlockDelta.max_id`) so consumers grow their dense arrays once
+  per block instead of once per address.
+
+Settled/voided H2 label churn is deliberately *not* here: it is a
+function of clustering state, not of the raw block, and stays on
+:meth:`IncrementalClusteringEngine.cluster_delta
+<repro.core.incremental.IncrementalClusteringEngine.cluster_delta>` —
+the aggregate view combines both deltas per block.
+
+The delta carries the :class:`~repro.chain.model.Block` itself
+(:attr:`BlockDelta.block`): legacy block-shaped observers are adapted
+through it, and consumers that genuinely need a transaction object
+(H2's static checks, taint propagation) read :attr:`TxDelta.tx` —
+without ever re-walking ``block.transactions`` or re-resolving a memo.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .model import Block, Transaction
+
+
+@dataclass(frozen=True, slots=True)
+class TxDelta:
+    """One transaction's flat, id-space ingest facts."""
+
+    tx: Transaction
+    """The transaction itself — for consumers that need more than ids
+    (H2 static checks, dice-spend tests, taint propagation)."""
+
+    is_coinbase: bool
+
+    input_ids: tuple[int, ...]
+    """Interned sender ids (deduplicated, insertion-ordered); empty for
+    coinbases.  Mirrors :meth:`ChainIndex.input_address_ids`."""
+
+    input_spends: tuple[tuple[int, int], ...]
+    """``(address id, value)`` per consumed output, aligned with the
+    non-coinbase inputs (-1 for exotic scripts).  Mirrors
+    :meth:`ChainIndex.input_spends`."""
+
+    output_ids: tuple[int, ...]
+    """Output address ids aligned with ``tx.outputs`` (-1 where no
+    address is extractable).  Mirrors
+    :meth:`ChainIndex.output_address_ids`."""
+
+    involved: tuple[int, ...]
+    """Deduplicated ids appearing among the senders or the outputs
+    (insertion-ordered: senders first).  The pre-built form of the
+    per-tx ``set`` the activity and aggregate consumers used to
+    allocate."""
+
+
+@dataclass(frozen=True, slots=True)
+class BlockDelta:
+    """One block's complete ingest plan, shared by the whole fan-out."""
+
+    block: Block
+    txs: tuple[TxDelta, ...]
+
+    events: tuple[tuple[int, int], ...]
+    """Flat balance event log: ``(address id, signed satoshi delta)`` in
+    fold order — per transaction, spend debits then output credits.
+    Exactly the entries :class:`~repro.service.views.BalanceView` logs
+    per height, so the view appends ``list(events)`` verbatim."""
+
+    minted: int
+    """Coinbase satoshis issued by the block."""
+
+    involved: tuple[int, ...]
+    """Deduplicated ids involved anywhere in the block (union of the
+    per-tx ``involved`` lists, insertion-ordered)."""
+
+    max_id: int
+    """Largest address id involved in the block (-1 when none): dense
+    consumers grow their arrays to ``max_id + 1`` once per block."""
+
+    @property
+    def height(self) -> int:
+        return self.block.height
+
+    @property
+    def timestamp(self) -> int:
+        return self.block.header.timestamp
+
+
+def build_block_delta(index, block: Block) -> BlockDelta:
+    """Flatten one ingested block into a :class:`BlockDelta`.
+
+    ``block`` must already be in ``index`` — the per-tx memos the walk
+    reads are seated at ingestion (and fall back to resolution on a
+    lazily restored index).  This is the *only* transaction walk the
+    streaming pipeline performs per block.
+    """
+    txs: list[TxDelta] = []
+    events: list[tuple[int, int]] = []
+    block_involved: dict[int, None] = {}
+    minted = 0
+    max_id = -1
+    for tx in block.transactions:
+        input_ids = index.input_address_ids(tx)
+        output_ids = index.output_address_ids(tx)
+        is_coinbase = tx.is_coinbase
+        if is_coinbase:
+            minted += tx.total_output_value
+            input_spends: tuple[tuple[int, int], ...] = ()
+        else:
+            input_spends = index.input_spends(tx)
+            for ident, value in input_spends:
+                if ident >= 0:
+                    events.append((ident, -value))
+        involved = dict.fromkeys(input_ids)
+        for out, ident in zip(tx.outputs, output_ids):
+            if ident >= 0:
+                events.append((ident, out.value))
+                involved[ident] = None
+        for ident in involved:
+            if ident > max_id:
+                max_id = ident
+        block_involved.update(involved)
+        txs.append(
+            TxDelta(
+                tx=tx,
+                is_coinbase=is_coinbase,
+                input_ids=input_ids,
+                input_spends=input_spends,
+                output_ids=output_ids,
+                involved=tuple(involved),
+            )
+        )
+    return BlockDelta(
+        block=block,
+        txs=tuple(txs),
+        events=tuple(events),
+        minted=minted,
+        involved=tuple(block_involved),
+        max_id=max_id,
+    )

@@ -15,6 +15,19 @@ The index is deliberately append-only: the paper analyses a chain prefix,
 and temporal replay (false-positive estimation) is done by *consulting
 heights*, not by mutating the index.
 
+Observer fan-out runs on a **shared per-block ingest plan**: after each
+``add_block`` the index builds one :class:`~repro.chain.delta.BlockDelta`
+(one transaction walk, id-space, see ``chain/delta.py``) and hands that
+single object to every subscriber.  :meth:`ChainIndex.subscribe_deltas`
+is the native hook; :meth:`ChainIndex.subscribe` remains as a
+**compatibility shim** for block-shaped observers (``SnapshotPolicy``,
+external consumers) — it adapts the callback to receive
+``delta.block``.  Deprecation path: the shim stays until every known
+consumer is delta-shaped; new streaming consumers should subscribe to
+deltas directly (folding from the delta's flat arrays is both the fast
+path and the one the equivalence property suites pin), after which
+``subscribe`` will be reduced to a thin alias and eventually warn.
+
 Durability: :meth:`ChainIndex.export_state` flattens the whole index
 into plain picklable data (raw block bytes, tuple-keyed maps, per-record
 tuples) and :meth:`ChainIndex.restore_state` rebuilds from it *lazily* —
@@ -32,6 +45,7 @@ from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator
 
+from .delta import BlockDelta, build_block_delta
 from .errors import (
     DoubleSpendError,
     MissingInputError,
@@ -152,7 +166,10 @@ class ChainIndex:
         # (which, on a snapshot-restored index, would materialize
         # historic blocks and defeat the lazy restore).
         self._input_spends: dict[bytes, tuple[tuple[int, int], ...]] = {}
-        self._observers: list[Callable[[Block], None]] = []
+        self._observers: list[Callable[[BlockDelta], None]] = []
+        """Delta-shaped observers, in registration order.  Block-shaped
+        callbacks registered through the :meth:`subscribe` shim sit here
+        wrapped in an adapter."""
         self._timestamps: list[int] = []
         # Lazy backing for a snapshot-restored index; all None/absent in a
         # live-built one.  `_blocks` / `_records_by_id` hold None at not-
@@ -187,11 +204,24 @@ class ChainIndex:
         self._timestamps.append(block.header.timestamp)
         if self._raw_blocks is not None:
             self._raw_blocks.append(None)  # serialized on demand at export
-        self._notify_observers(block)
+        if self._observers:
+            self._notify_observers(build_block_delta(self, block))
 
-    def _notify_observers(self, block: Block) -> None:
-        """Fan the block out to every observer registered when ingestion
-        finished, in registration order.
+    def block_delta(self, height: int) -> BlockDelta:
+        """The shared ingest plan for one already-ingested block.
+
+        Streaming fan-out builds each block's delta exactly once inside
+        :meth:`add_block`; this rebuilds the identical plan on demand —
+        the catch-up path consumers use to fold blocks the index held
+        before they attached.
+        """
+        return build_block_delta(self, self.block_at(height))
+
+    def _notify_observers(self, delta: BlockDelta) -> None:
+        """Fan one block's shared :class:`BlockDelta` out to every
+        observer registered when ingestion finished, in registration
+        order — the *same* object to each, so the whole pipeline costs
+        one transaction walk per block.
 
         The observer list is snapshotted first, so a callback that
         subscribes or unsubscribes mid-fan-out cannot skip or double-
@@ -203,27 +233,32 @@ class ChainIndex:
         errors: list[BaseException] = []
         for observer in tuple(self._observers):
             try:
-                observer(block)
+                observer(delta)
             except Exception as exc:  # noqa: BLE001 — isolate per observer
                 errors.append(exc)
         if errors:
             first = errors[0]
             for later in errors[1:]:
                 first.add_note(
-                    f"additional observer failure at height {block.height}: "
+                    f"additional observer failure at height {delta.height}: "
                     f"{later!r}"
                 )
             raise first
 
-    def subscribe(self, observer: Callable[[Block], None]) -> Callable[[], None]:
-        """Register a per-block observer; returns an unsubscribe callable.
+    def subscribe_deltas(
+        self, observer: Callable[[BlockDelta], None]
+    ) -> Callable[[], None]:
+        """Register a per-block delta observer; returns an unsubscribe
+        callable.
 
         Observers are called after each block is fully ingested (index
         queries see the block), in registration order, each exactly once
-        per block.  This is the hook the incremental clustering engine
-        and the service layer's materialized views stream from; see
-        :meth:`_notify_observers` for the fan-out contract under
-        mid-callback (un)subscription and observer exceptions.
+        per block, every one receiving the block's single shared
+        :class:`~repro.chain.delta.BlockDelta`.  This is the hook the
+        incremental clustering engine and the service layer's
+        materialized views stream from; see :meth:`_notify_observers`
+        for the fan-out contract under mid-callback (un)subscription and
+        observer exceptions.
         """
         self._observers.append(observer)
 
@@ -232,6 +267,23 @@ class ChainIndex:
                 self._observers.remove(observer)
 
         return unsubscribe
+
+    def subscribe(self, observer: Callable[[Block], None]) -> Callable[[], None]:
+        """Compatibility shim: register a *block*-shaped observer.
+
+        Equivalent to :meth:`subscribe_deltas` with the callback adapted
+        to receive ``delta.block`` — same registration-order slot, same
+        exactly-once and exception-isolation guarantees.  Kept for
+        consumers that only need block-level facts
+        (:class:`~repro.storage.store.SnapshotPolicy`, external code);
+        new streaming consumers should take the delta (see the module
+        docstring for the shim's deprecation path).
+        """
+
+        def adapter(delta: BlockDelta) -> None:
+            observer(delta.block)
+
+        return self.subscribe_deltas(adapter)
 
     def add_chain(self, blocks: Iterable[Block]) -> None:
         """Ingest a whole chain in order."""

@@ -88,17 +88,41 @@ class TxIn:
         return self.prevout.is_coinbase
 
 
+class _AddressUnresolved:
+    """Sentinel type for a :class:`TxOut` whose address slot is still
+    cold.  The sentinel is the class object itself: pickle stores
+    classes by reference, so a ``TxOut`` pickled before its first
+    ``address`` access round-trips with the memo still cold (a plain
+    ``object()`` sentinel would unpickle as a fresh object that fails
+    the identity check and masquerade as the address)."""
+
+
+_ADDRESS_UNRESOLVED = _AddressUnresolved
+
+
 @dataclass(frozen=True, slots=True)
 class TxOut:
     """Transaction output carrying ``value`` satoshis locked by a script."""
 
     value: int
     script_pubkey: bytes
+    _address: object = field(
+        default=_ADDRESS_UNRESOLVED, init=False, repr=False, compare=False
+    )
 
     @property
     def address(self) -> str | None:
-        """The address this output pays, or ``None`` for exotic scripts."""
-        return script_mod.extract_address(self.script_pubkey)
+        """The address this output pays, or ``None`` for exotic scripts.
+
+        Memoized per output: script → address extraction ends in a
+        base58check encode, and the ingest pipeline, heuristics, and
+        reporting edges all resolve the same outputs repeatedly.
+        """
+        cached = self._address
+        if cached is _ADDRESS_UNRESOLVED:
+            cached = script_mod.extract_address(self.script_pubkey)
+            object.__setattr__(self, "_address", cached)
+        return cached
 
 
 @dataclass(frozen=True)

@@ -5,8 +5,13 @@ formation, Figure 2's series — all ask "what did the clustering look
 like *as of height h*?".  Batch :class:`~repro.core.clustering.ClusteringEngine`
 answers by re-running H1+H2 from block 0 per cutoff, making every
 time-series experiment O(chain × heights).  This engine instead
-subscribes to :meth:`ChainIndex.add_block <repro.chain.index.ChainIndex.add_block>`
-and clusters *as the chain arrives*, so one pass yields every height:
+subscribes to the index's shared per-block delta fan-out
+(:meth:`ChainIndex.subscribe_deltas
+<repro.chain.index.ChainIndex.subscribe_deltas>`) and clusters *as the
+chain arrives* — folding the
+:class:`~repro.chain.delta.BlockDelta`'s pre-resolved id arrays rather
+than re-walking the block's transaction list — so one pass yields every
+height:
 
 * **H1** co-spend unions are applied eagerly to an undo-logged
   :class:`~repro.core.union_find.IntUnionFind`, with a checkpoint per
@@ -44,9 +49,9 @@ import heapq
 from collections import OrderedDict
 from dataclasses import dataclass
 
+from ..chain.delta import BlockDelta, TxDelta
 from ..chain.errors import NonMonotonicTimestampError
 from ..chain.index import ChainIndex
-from ..chain.model import Block
 from .clustering import Clustering, InternedPartition
 from .heuristic2 import (
     ChangeLabel,
@@ -187,10 +192,10 @@ class IncrementalClusteringEngine:
         for ``h < v``.  This is what lets a serving layer ask for the
         tip clustering per query without re-materializing."""
         self._unsubscribe = None
-        for block in index.blocks:
-            self._observe_block(block)
+        for height in range(index.height + 1):
+            self._observe_delta(index.block_delta(height))
         if follow:
-            self._unsubscribe = index.subscribe(self._observe_block)
+            self._unsubscribe = index.subscribe_deltas(self._observe_delta)
 
     # ------------------------------------------------------------------
     # streaming ingestion
@@ -207,8 +212,8 @@ class IncrementalClusteringEngine:
             self._unsubscribe()
             self._unsubscribe = None
 
-    def _observe_block(self, block: Block) -> None:
-        height = block.height
+    def _observe_delta(self, delta: BlockDelta) -> None:
+        height = delta.height
         if self._refused_height is not None:
             raise NonMonotonicTimestampError(
                 f"engine stopped at height {len(self._marks) - 1} after "
@@ -220,12 +225,10 @@ class IncrementalClusteringEngine:
                 f"blocks must stream in order: expected height "
                 f"{len(self._marks)}, got {height}"
             )
-        index = self.index
-        interner = index.interner
-        id_of = interner.id_of
+        id_of = self.index.interner.id_of
         uf = self._uf
         watching = self.h2_config.wait_seconds is not None
-        now = block.header.timestamp
+        now = delta.timestamp
         if watching:
             # The wait-window clamp assumes chain time never runs
             # backwards; refuse the block rather than mislabel (§4.2).
@@ -239,34 +242,29 @@ class IncrementalClusteringEngine:
                 )
             self._sweep_expired_watches(now, height)
         self._last_timestamp = now
-        for tx in block.transactions:
+        # The delta pre-resolved every id: grow the universe once per
+        # block (ids are dense, inputs always precede the block's max).
+        if delta.max_id > self._max_id:
+            self._max_id = delta.max_id
+            if delta.max_id >= len(uf):
+                uf.ensure(delta.max_id + 1)
+        for txd in delta.txs:
             # 1. Wait-rule voiding: a receive to a watched candidate at a
             #    *later* height, inside its window, kills the label —
             #    unless every sender is a known dice game (§4.2).
             if watching and self._watch:
-                self._apply_voiding(tx, height, now)
-            # 2. H1: every output address exists; co-spent inputs union.
-            for out in tx.outputs:
-                address = out.address
-                if address is not None:
-                    ident = id_of(address)
-                    if ident is not None:
-                        if ident >= len(uf):
-                            uf.ensure(ident + 1)
-                        if ident > self._max_id:
-                            self._max_id = ident
-            if not tx.is_coinbase:
-                input_ids = index.input_address_ids(tx)
-                if input_ids:
-                    uf.union_many(input_ids)
+                self._apply_voiding(txd, height, now)
+            # 2. H1: co-spent inputs union (outputs already seated above).
+            if not txd.is_coinbase and txd.input_ids:
+                uf.union_many(txd.input_ids)
         # 3. H2: purely-past label decisions for this block's txs.  Runs
         #    after the voiding pass so same-height receives never void a
         #    newborn label (the batch rule is strictly-later receives).
-        for tx in block.transactions:
-            label, _reason = self._h2.identify_change_static(tx)
+        for txd in delta.txs:
+            label, _reason = self._h2.identify_change_static(txd.tx)
             if label is None:
                 continue
-            input_ids = index.input_address_ids(tx)
+            input_ids = txd.input_ids
             live = _LiveLabel(
                 label=label,
                 address_id=id_of(label.address),
@@ -312,14 +310,11 @@ class IncrementalClusteringEngine:
             else:
                 del self._watch[live.address_id]
 
-    def _apply_voiding(self, tx, height: int, now: int) -> None:
-        id_of = self.index.interner.id_of
+    def _apply_voiding(self, txd: TxDelta, height: int, now: int) -> None:
         excused: bool | None = None  # lazily computed, once per tx
-        for out in tx.outputs:
-            address = out.address
-            if address is None:
+        for ident in txd.output_ids:
+            if ident < 0:
                 continue
-            ident = id_of(address)
             watchers = self._watch.get(ident)
             if not watchers:
                 continue
@@ -333,7 +328,7 @@ class IncrementalClusteringEngine:
                     still_open.append(live)  # same-block receive: no void
                     continue
                 if excused is None:
-                    excused = self._receive_excused(tx)
+                    excused = self._receive_excused(txd.tx)
                 if excused:
                     still_open.append(live)
                 else:
@@ -537,7 +532,7 @@ class IncrementalClusteringEngine:
                 f"index is at {index.height}"
             )
         if follow:
-            engine._unsubscribe = index.subscribe(engine._observe_block)
+            engine._unsubscribe = index.subscribe_deltas(engine._observe_delta)
         return engine
 
     # ------------------------------------------------------------------

@@ -233,6 +233,14 @@ class IntUnionFind:
     def size_of(self, item: int) -> int:
         return self._size[self.find(item)]
 
+    @property
+    def root_sizes(self) -> list[int]:
+        """The per-id size array (meaningful only at roots; junk
+        elsewhere).  Exposed read-only for hot-path consumers that
+        already hold roots — indexing this skips the :meth:`size_of`
+        find.  Callers must not mutate it."""
+        return self._size
+
     def component_sizes(self) -> dict[int, int]:
         """``root -> component size`` (roots are self-parented ids)."""
         size = self._size

@@ -8,7 +8,11 @@ address array on the first query after each block, so per-block serving
 cost grows with chain size.  :class:`ClusterAggregateView` instead
 folds each block's *deltas* as it streams:
 
-* per-address balance/activity churn updates only the touched clusters;
+* per-address balance/activity churn arrives pre-flattened on the
+  block's shared :class:`~repro.chain.delta.BlockDelta` (the one
+  transaction walk the whole fan-out shares): balance folds read the
+  flat event log, incidence folds read the per-tx deduplicated involved
+  lists, and only the touched clusters are updated;
 * H1 co-spend unions and settled H2 change links arrive as merge events
   (:meth:`IncrementalClusteringEngine.cluster_delta
   <repro.core.incremental.IncrementalClusteringEngine.cluster_delta>`,
@@ -19,12 +23,17 @@ folds each block's *deltas* as it streams:
   cluster's — O(1) per merge, never a member scan;
 * H2 labels whose §4.2 wait window is still open are *overlaid*, not
   folded: a later receive may void them, so their change links join
-  clusters only in a small per-block overlay that is cheap to rebuild
-  (bounded by the open-window label count), while the fold-for-good
-  happens the block their window closes.
+  clusters only in a small overlay (bounded by the open-window label
+  count, with untouched groups reused verbatim across flushes), while
+  the fold-for-good happens the block their window closes;
+* folding is *lazily flushed*: ingest only queues the shared delta, and
+  the first query or export at the new tip folds every queued block and
+  refreshes overlay + rankings once — interleaved traffic pays the same
+  as eager per-block maintenance, bulk ingest (catch-up, tail replay)
+  coalesces it.
 
-Per-block maintenance is therefore O(block churn + merges + open
-labels), not O(addresses).
+Per-flush maintenance is therefore O(queued churn + merges + changed
+overlay), not O(addresses).
 
 Cluster identity is *canonical*: a cluster's public id is its minimum
 member address id (ids are dense and first-sight ordered, so this is
@@ -41,10 +50,10 @@ from __future__ import annotations
 from bisect import bisect_left, insort
 from dataclasses import dataclass
 
+from ..chain.delta import BlockDelta
 from ..chain.index import ChainIndex
-from ..chain.model import Block
 from ..core.incremental import IncrementalClusteringEngine
-from ..core.union_find import IntUnionFind, UnionFind
+from ..core.union_find import IntUnionFind
 from .queries import ClusterRanking, TOP_CLUSTER_METRICS
 from .views import ClusterActivity, MaterializedView
 
@@ -133,7 +142,7 @@ class ClusterAggregateView(MaterializedView):
     Attach *after* the service's
     :class:`~repro.core.incremental.IncrementalClusteringEngine` (the
     service constructor and snapshot-restore path both do): each block's
-    :meth:`_apply_block` pulls the engine's
+    :meth:`_apply_delta` pulls the engine's
     :meth:`~repro.core.incremental.IncrementalClusteringEngine.cluster_delta`
     for the height, so the engine must already have clustered it.
 
@@ -141,13 +150,26 @@ class ClusterAggregateView(MaterializedView):
     :class:`~repro.core.union_find.IntUnionFind`) carrying H1 unions
     plus permanently settled H2 change links, with per-base-root
     aggregate arrays folded on every base merge via the union-find's
-    merge-cursor hook; plus a per-block *overlay* of open-window H2
-    links.  Base folds are irreversible (min/max folds have no inverse)
-    — which is exactly why voidable links never enter the base: a §4.2
-    void simply drops the link from the next block's overlay, and the
-    engine's own checkpoint/rollback time-travel brackets never leak in
-    (they restore the merge log exactly, and this view's base is never
-    rolled back — :meth:`_apply_block` refuses retractions loudly).
+    merge-cursor hook; plus an *overlay* of open-window H2 links.  Base
+    folds are irreversible (min/max folds have no inverse) — which is
+    exactly why voidable links never enter the base: a §4.2 void simply
+    drops the link from the next flush's overlay, and the engine's own
+    checkpoint/rollback time-travel brackets never leak in (they
+    restore the merge log exactly, and this view's base is never rolled
+    back — the flush refuses retractions loudly).
+
+    Maintenance is **lazily flushed**: :meth:`_apply_delta` only queues
+    the block's shared :class:`~repro.chain.delta.BlockDelta` (O(1) on
+    the ingest hot path), and the first query/export at the new tip
+    folds every queued block and refreshes overlay + rankings *once*.
+    Under interleaved traffic that equals per-block maintenance; under
+    bulk ingest (catch-up, snapshot tail replay, block sync) the rank
+    and overlay churn for a cluster touched in many queued blocks
+    coalesces into a single update.  The deferral is safe because
+    everything a flush reads is stable history: the engine's per-height
+    merge spans and label churn never change once a height is
+    clustered, and the open-label fields the overlay reads
+    (``address_id``/``input_id``) are immutable.
     """
 
     def __init__(
@@ -178,66 +200,146 @@ class ClusterAggregateView(MaterializedView):
         self._ranks: dict[str, RankIndex] = {
             metric: RankIndex() for metric in TOP_CLUSTER_METRICS
         }
+        self._pending: list[BlockDelta] = []
+        """Blocks observed but not yet folded (drained by :meth:`_flush`
+        on the first query or export at the new tip)."""
+        self._naming_dirty: set[int] = set()
+        """Base roots whose *canonical id mapping* may have changed
+        since the last :meth:`drain_naming_dirty` — fold endpoints and
+        structurally changed overlay groups, never plain churn (balance
+        or activity updates cannot move a cluster's id)."""
         super().__init__(index, follow=follow)
 
     # ------------------------------------------------------------------
     # streaming maintenance
     # ------------------------------------------------------------------
 
-    def _apply_block(self, block: Block) -> None:
-        height = block.height
+    def _apply_delta(self, delta: BlockDelta) -> None:
         engine = self.engine
-        if engine.height < height:
+        if engine.height < delta.height:
             raise ValueError(
-                f"engine is at height {engine.height} but block {height} "
-                f"arrived; attach ClusterAggregateView after a following "
-                f"engine (a detached engine, a refused non-monotonic "
-                f"block, or view-before-engine subscription order all "
-                f"leave the merge deltas missing)"
+                f"engine is at height {engine.height} but block "
+                f"{delta.height} arrived; attach ClusterAggregateView "
+                f"after a following engine (a detached engine, a refused "
+                f"non-monotonic block, or view-before-engine "
+                f"subscription order all leave the merge deltas missing)"
             )
-        delta = engine.cluster_delta(height)
-        index = self.index
+        self._pending.append(delta)
+
+    def _flush(self) -> None:
+        """Fold every queued block, then refresh overlay and rankings.
+
+        The fold itself runs per queued block, in order (first/last-seen
+        and stale-id reads are height-sensitive); the overlay rebuild
+        and the rank churn run once at the end over the union of every
+        queued block's touched ids — the coalescing that makes bulk
+        ingest cheap.
+        """
+        pending = self._pending
+        if not pending:
+            return
+        self._pending = []
         uf = self._uf
+        find = uf.find
+        min_member = self._min_member
+        prev_groups = self._overlay_groups
+        prev_of = self._overlay_of
+
+        stale_cids: set[int] = set()
+        touched: set[int] = set()
+        for delta in pending:
+            self._fold_block(delta, stale_cids, touched)
+
+        # Overlay rebuild from the now-current open links, resolving
+        # each endpoint's post-fold base root exactly once.  A root
+        # *newly* absorbed by a group loses its standalone rank entry;
+        # roots grouped before the flush never had one.  Groups whose
+        # topology and member aggregates are untouched are reused
+        # verbatim — their rank entries are already correct, so they
+        # contribute neither stale ids nor new entries.
+        open_links = [
+            live for live in self._open if live.input_id is not None
+        ]
+        touched_roots = {find(ident) for ident in touched}
+        pairs: list[tuple[int, int]] = []
+        for live in open_links:
+            ra = find(live.address_id)
+            rb = find(live.input_id)
+            pairs.append((ra, rb))
+            if ra not in prev_of:
+                stale_cids.add(min_member[ra])
+                touched_roots.add(ra)
+            if rb not in prev_of:
+                stale_cids.add(min_member[rb])
+                touched_roots.add(rb)
+        self._build_overlay(pairs, touched_roots)
+
+        # Pre-flush groups that did not survive verbatim dissolve: their
+        # ids may vanish and their member roots may stand alone again.
+        # A group replaced by a rebuilt one was handled structurally in
+        # :meth:`_build_overlay`; one that vanished outright reverts its
+        # members' canonical ids to standalone, so they re-resolve.
+        reused = {id(group) for group in self._overlay_groups}
+        overlay_of = self._overlay_of
+        naming_dirty = self._naming_dirty
+        for group in prev_groups:
+            if id(group) not in reused:
+                stale_cids.add(group.cid)
+                for root in group.roots:
+                    touched_roots.add(find(root))
+                    if overlay_of.get(root) is None:
+                        # Reverted to standalone (or folded away): its
+                        # canonical id left the group.  Members landing
+                        # in a rebuilt group were marked structurally in
+                        # _build_overlay; this per-root check catches
+                        # the ones no new group absorbed.
+                        naming_dirty.add(root)
+
+        # Rank churn, once per touched cluster: stale ids out, live
+        # entries in.  Plain churn never changes a cluster's id — those
+        # entries are overwritten in place, not discarded — so the
+        # stale set stays O(merges + links + changed groups), not
+        # O(churn + open labels).
+        grouped = self._overlay_of
+        sizes = uf.root_sizes
+        balance = self._balance
+        tx_count = self._tx_count
+        prev_ids = {id(group) for group in prev_groups}
+        new_entries: list[tuple[int, int, int, int]] = []
+        for root in touched_roots:
+            if root in grouped:
+                continue
+            new_entries.append(
+                (min_member[root], sizes[root], balance[root],
+                 tx_count[root])
+            )
+        for group in self._overlay_groups:
+            if id(group) in prev_ids:
+                continue  # reused verbatim: entries already live
+            new_entries.append(
+                (group.cid, group.size, group.balance, group.tx_count)
+            )
+        self._refresh_ranks(stale_cids, new_entries)
+
+    def _fold_block(
+        self, delta: BlockDelta, stale_cids: set[int], touched: set[int]
+    ) -> None:
+        """Fold one queued block into the base partition and arrays.
+
+        ``stale_cids`` collects canonical ids that may disappear
+        (resolved *before* the block's unions fold them away);
+        ``touched`` collects address ids whose post-fold clusters need
+        their rank entries refreshed.
+        """
+        height = delta.height
+        churn = self.engine.cluster_delta(height)
+        uf = self._uf
+        find = uf.find
         min_member = self._min_member
 
-        involved: set[int] = set()
-        old_cids: set[int] = set()
-
-        # 1. The previous block's overlay dissolves (it is rebuilt from
-        #    the current open-label set at the end of this block).
-        for group in self._overlay_groups:
-            old_cids.add(group.cid)
-            involved.update(group.roots)
-
-        # 2. One pass over the block: balance deltas, activity
-        #    incidences, and the new ids that grow the universe.  The
-        #    per-tx memos were seated at ingestion, so nothing here
-        #    re-resolves a prevout.
-        balance_deltas: dict[int, int] = {}
-        involvement: dict[int, int] = {}
-        max_id = len(uf) - 1
-        for tx in block.transactions:
-            out_ids = index.output_address_ids(tx)
-            if tx.is_coinbase:
-                touched = set()
-            else:
-                for ident, value in index.input_spends(tx):
-                    if ident >= 0:
-                        balance_deltas[ident] = (
-                            balance_deltas.get(ident, 0) - value
-                        )
-                touched = set(index.input_address_ids(tx))
-            for out, ident in zip(tx.outputs, out_ids):
-                if ident >= 0:
-                    balance_deltas[ident] = (
-                        balance_deltas.get(ident, 0) + out.value
-                    )
-                    touched.add(ident)
-                    if ident > max_id:
-                        max_id = ident
-            for ident in touched:
-                involvement[ident] = involvement.get(ident, 0) + 1
+        # 1. Universe growth, once per block off the delta's max id.
         grown_from = len(uf)
+        max_id = delta.max_id
         if max_id >= grown_from:
             uf.ensure(max_id + 1)
             grow = max_id + 1 - grown_from
@@ -246,46 +348,39 @@ class ClusterAggregateView(MaterializedView):
             self._first.extend([-1] * grow)
             self._last.extend([-1] * grow)
             min_member.extend(range(grown_from, max_id + 1))
-            involved.update(range(grown_from, max_id + 1))
 
-        # 3. Open-label bookkeeping off the engine's delta: watched
+        # 2. Open-label bookkeeping off the engine's delta: watched
         #    births join the overlay set, voids and settles leave it.
         open_set = self._open
-        for live in delta.born:
+        for live in churn.born:
             if live.deadline is not None:
                 open_set.add(live)
-        for live in delta.voided:
+        for live in churn.voided:
             open_set.discard(live)
-        for live in delta.settled:
+        for live in churn.settled:
             open_set.discard(live)
         settle_links = [
-            live for live in delta.settled if live.input_id is not None
+            live for live in churn.settled if live.input_id is not None
         ]
-        open_links = [live for live in open_set if live.input_id is not None]
 
-        # 4. Everything this block can touch, and the canonical ids its
-        #    stale ranking entries currently sit under (resolved before
-        #    any mutation).
-        for absorbed, kept in delta.merges:
-            involved.add(absorbed)
-            involved.add(kept)
+        # 3. Canonical ids the block's unions can fold away, resolved
+        #    before any mutation.
+        for absorbed, kept in churn.merges:
+            stale_cids.add(min_member[find(absorbed)])
+            stale_cids.add(min_member[find(kept)])
+            touched.add(absorbed)
+            touched.add(kept)
         for live in settle_links:
-            involved.add(live.address_id)
-            involved.add(live.input_id)
-        for live in open_links:
-            involved.add(live.address_id)
-            involved.add(live.input_id)
-        involved.update(balance_deltas)
-        involved.update(involvement)
-        find = uf.find
-        for ident in involved:
-            old_cids.add(min_member[find(ident)])
+            stale_cids.add(min_member[find(live.address_id)])
+            stale_cids.add(min_member[find(live.input_id)])
+            touched.add(live.address_id)
+            touched.add(live.input_id)
 
-        # 5. Fold the block's merges into the base: H1 unions (replayed
+        # 4. Fold the block's merges into the base: H1 unions (replayed
         #    off the engine's merge log) plus change links that settled
         #    this block.  The merge cursor turns every *effective* base
         #    merge into one aggregate fold, smaller into larger.
-        for absorbed, kept in delta.merges:
+        for absorbed, kept in churn.merges:
             uf.union(absorbed, kept)
         for live in settle_links:
             uf.union(live.address_id, live.input_id)
@@ -299,7 +394,10 @@ class ClusterAggregateView(MaterializedView):
         tx_count = self._tx_count
         first = self._first
         last = self._last
+        naming_dirty = self._naming_dirty
         for absorbed, kept in folds:
+            naming_dirty.add(absorbed)
+            naming_dirty.add(kept)
             balance[kept] += balance[absorbed]
             tx_count[kept] += tx_count[absorbed]
             first_absorbed = first[absorbed]
@@ -312,69 +410,119 @@ class ClusterAggregateView(MaterializedView):
             if min_member[absorbed] < min_member[kept]:
                 min_member[kept] = min_member[absorbed]
 
-        # 6. Per-address churn folded at the post-merge roots.
-        for ident, change in balance_deltas.items():
-            if change:
-                balance[find(ident)] += change
+        # 5. Per-address churn folded at the post-merge roots: balance
+        #    deltas off the delta's flat event log, incidences off the
+        #    pre-deduplicated per-tx involved lists — one find per
+        #    touched id (every balance-event id also has an incidence,
+        #    so the single pass covers both dicts).
+        balance_deltas: dict[int, int] = {}
+        for ident, change in delta.events:
+            balance_deltas[ident] = balance_deltas.get(ident, 0) + change
+        involvement: dict[int, int] = {}
+        for txd in delta.txs:
+            for ident in txd.involved:
+                involvement[ident] = involvement.get(ident, 0) + 1
         for ident, hits in involvement.items():
             root = find(ident)
             tx_count[root] += hits
             if first[root] < 0:
                 first[root] = height
             last[root] = height
+            change = balance_deltas.get(ident)
+            if change:
+                balance[root] += change
+        touched.update(involvement)
 
-        # 7. Rebuild the overlay from the open links (bounded by the
-        #    open-window label count) and refresh the rankings for
-        #    every touched cluster.
-        self._build_overlay(open_links)
-        grouped = self._overlay_of
-        new_entries: list[tuple[int, int, int, int]] = []
-        for root in {find(ident) for ident in involved}:
-            if root in grouped:
+    def _build_overlay(
+        self,
+        root_pairs: list[tuple[int, int]],
+        touched_roots: set[int],
+    ) -> None:
+        """Group base roots connected by open (voidable) change links.
+
+        ``root_pairs`` holds each open link's endpoints already resolved
+        to base roots (the caller needs those roots anyway); grouping
+        runs on a small inline dict-backed union-find, and per-group
+        aggregation reads the base arrays directly.  A component whose
+        root set matches a pre-flush group exactly and touches no root
+        in ``touched_roots`` reuses that group object verbatim — the
+        flush detects reuse by identity and skips its rank churn.
+        """
+        prev_of = self._overlay_of
+        parent: dict[int, int] = {}
+        get = parent.get
+
+        def gfind(item: int) -> int:
+            root = item
+            while True:
+                above = get(root, root)
+                if above == root:
+                    break
+                root = above
+            while item != root:
+                parent[item], item = root, parent[item]
+            return root
+
+        for ra, rb in root_pairs:
+            if ra == rb:
                 continue
-            new_entries.append(
-                (min_member[root], uf.size_of(root), balance[root],
-                 tx_count[root])
-            )
-        for group in self._overlay_groups:
-            new_entries.append(
-                (group.cid, group.size, group.balance, group.tx_count)
-            )
-        self._refresh_ranks(old_cids, new_entries)
-
-    def _build_overlay(self, open_links) -> None:
-        """Group base roots connected by open (voidable) change links."""
-        find = self._uf.find
-        grouping = UnionFind()
-        for live in open_links:
-            ra = find(live.address_id)
-            rb = find(live.input_id)
-            if ra != rb:
-                grouping.union(ra, rb)
+            if ra not in parent:
+                parent[ra] = ra
+            if rb not in parent:
+                parent[rb] = rb
+            fa = gfind(ra)
+            fb = gfind(rb)
+            if fa != fb:
+                parent[fb] = fa
+        members: dict[int, list[int]] = {}
+        for item in parent:
+            members.setdefault(gfind(item), []).append(item)
         groups: list[_OverlayGroup] = []
-        uf = self._uf
-        for roots in grouping.components().values():
+        sizes = self._uf.root_sizes
+        balances = self._balance
+        tx_counts = self._tx_count
+        firsts = self._first
+        lasts = self._last
+        min_member = self._min_member
+        for roots in members.values():
             # Every tracked root was unioned with a distinct partner, so
             # components here always span at least two base clusters.
+            roots_key = tuple(sorted(roots))
+            prev = prev_of.get(roots_key[0])
+            if (
+                prev is not None
+                and prev.roots == roots_key
+                and touched_roots.isdisjoint(roots_key)
+            ):
+                # Same topology, no member churn or fold: every
+                # aggregate (and the cid) is provably unchanged.
+                groups.append(prev)
+                continue
             size = balance = tx_count = 0
             first = last = -1
             cid = None
-            for root in roots:
-                size += uf.size_of(root)
-                balance += self._balance[root]
-                tx_count += self._tx_count[root]
-                root_first = self._first[root]
+            for root in roots_key:
+                size += sizes[root]
+                balance += balances[root]
+                tx_count += tx_counts[root]
+                root_first = firsts[root]
                 if root_first >= 0 and (first < 0 or root_first < first):
                     first = root_first
-                if self._last[root] > last:
-                    last = self._last[root]
-                root_min = self._min_member[root]
+                if lasts[root] > last:
+                    last = lasts[root]
+                root_min = min_member[root]
                 if cid is None or root_min < cid:
                     cid = root_min
+            if prev is None or prev.cid != cid or prev.roots != roots_key:
+                # Structural change: member roots' canonical-id mapping
+                # shifted (an aggregates-only rebuild keeps every id).
+                self._naming_dirty.update(roots_key)
+                if prev is not None:
+                    self._naming_dirty.update(prev.roots)
             groups.append(
                 _OverlayGroup(
                     cid=cid,
-                    roots=tuple(sorted(roots)),
+                    roots=roots_key,
                     size=size,
                     balance=balance,
                     tx_count=tx_count,
@@ -392,7 +540,7 @@ class ClusterAggregateView(MaterializedView):
         old_cids: set[int],
         new_entries: list[tuple[int, int, int, int]],
     ) -> None:
-        """Apply one block's ranking churn: stale ids out, live ids in.
+        """Apply one flush's ranking churn: stale ids out, live ids in.
 
         Inclusion mirrors the batch ``_agg`` builders exactly: ``size``
         ranks every cluster in the universe; ``balance`` and
@@ -420,20 +568,72 @@ class ClusterAggregateView(MaterializedView):
                 activity_index.discard(cid)
 
     # ------------------------------------------------------------------
-    # queries (all at the view's height)
+    # queries (all at the view's height; each flushes queued blocks)
     # ------------------------------------------------------------------
 
     def cluster_id_of(self, ident: int | None) -> int | None:
         """Canonical cluster id for an address id, or ``None`` if the id
         is outside the view's universe."""
+        self._flush()
         if ident is None or not 0 <= ident < len(self._uf):
             return None
         root = self._uf.find(ident)
         group = self._overlay_of.get(root)
         return group.cid if group is not None else self._min_member[root]
 
+    def cluster_placements_of(
+        self, idents
+    ) -> list[tuple[int, int] | None]:
+        """Bulk :meth:`cluster_id_of` returning ``(base root, canonical
+        id)`` per input id (``None`` for ids outside the universe).
+
+        One flush, locals bound once: the cluster-name aggregate
+        resolves batches of tagged addresses through this instead of one
+        method call (plus flush check) per id, and keeps the returned
+        root to know when a cached resolution goes stale (see
+        :meth:`drain_naming_dirty`).
+        """
+        self._flush()
+        uf = self._uf
+        universe = len(uf)
+        find = uf.find
+        overlay_get = self._overlay_of.get
+        min_member = self._min_member
+        out: list[tuple[int, int] | None] = []
+        append = out.append
+        for ident in idents:
+            if ident is None or not 0 <= ident < universe:
+                append(None)
+                continue
+            root = find(ident)
+            group = overlay_get(root)
+            append(
+                (root, group.cid if group is not None else min_member[root])
+            )
+        return out
+
+    def drain_naming_dirty(self) -> set[int]:
+        """Return (and clear) the base roots whose canonical-id mapping
+        may have changed since the previous drain.
+
+        Single-consumer contract: the query engine's incremental
+        cluster-name aggregate drains this after every flush it folds
+        from; a second consumer would starve the first.  An id resolved
+        through :meth:`cluster_placements_of` stays valid until a drain
+        reports its root — fold endpoints and structural overlay changes
+        are reported, plain churn (which cannot move a cluster's id) is
+        not.
+        """
+        self._flush()
+        dirty = self._naming_dirty
+        if not dirty:
+            return dirty
+        self._naming_dirty = set()
+        return dirty
+
     def _locate(self, cluster_id: int) -> tuple[int, _OverlayGroup | None]:
         """Resolve a canonical id to its base root / overlay group."""
+        self._flush()
         if not 0 <= cluster_id < len(self._uf):
             raise KeyError(cluster_id)
         root = self._uf.find(cluster_id)
@@ -468,6 +668,7 @@ class ClusterAggregateView(MaterializedView):
         )
 
     def _rank_index(self, by: str) -> RankIndex:
+        self._flush()
         rank_index = self._ranks.get(by)
         if rank_index is None:
             raise ValueError(
@@ -490,6 +691,7 @@ class ClusterAggregateView(MaterializedView):
     @property
     def cluster_count(self) -> int:
         """Clusters at the tip (the size ranking covers every cluster)."""
+        self._flush()
         return len(self._ranks["size"])
 
     # ------------------------------------------------------------------
@@ -502,8 +704,10 @@ class ClusterAggregateView(MaterializedView):
         The overlay, open-label set, and rank indexes are *derived*
         (from the engine's open labels and the base aggregates) and are
         rebuilt on restore — exporting them would only create a second
-        source of truth to keep consistent.
+        source of truth to keep consistent.  Queued blocks are flushed
+        first, so an export always reflects the view's full height.
         """
+        self._flush()
         return {
             "height": self._height,
             "uf": self._uf.export_state(),
@@ -544,16 +748,23 @@ class ClusterAggregateView(MaterializedView):
                 f"engine is at {engine.height}"
             )
         view._open = set(engine.open_labels())
+        view._pending = []
+        view._naming_dirty = set()
         view._rebuild_derived()
         view._adopt(index, state["height"], follow)
         return view
 
     def _rebuild_derived(self) -> None:
         """Reconstruct overlay groups and rank indexes from base state."""
-        open_links = [
-            live for live in self._open if live.input_id is not None
+        self._overlay_groups = []
+        self._overlay_of = {}
+        find = self._uf.find
+        pairs = [
+            (find(live.address_id), find(live.input_id))
+            for live in self._open
+            if live.input_id is not None
         ]
-        self._build_overlay(open_links)
+        self._build_overlay(pairs, set())
         self._ranks = {metric: RankIndex() for metric in TOP_CLUSTER_METRICS}
         entries: list[tuple[int, int, int, int]] = []
         grouped = self._overlay_of

@@ -54,9 +54,10 @@ shared by every caller that hits the same cache entry.
 
 from __future__ import annotations
 
+from bisect import insort
 from dataclasses import dataclass
 
-from ..tagging.naming import ranked_entities
+from ..tagging.naming import top_entity
 
 QUERY_KINDS = (
     "cluster_of",
@@ -171,6 +172,27 @@ class QueryEngine:
 
     def __init__(self, service) -> None:
         self.service = service
+        self._tag_entries: list[list] | None = None
+        """Per tag (in ``all_tags`` order): ``[address id | None, entity,
+        confidence, address]``.  Lazily built; ids are interned once per
+        address ever (first-sight, stable), so each name build only
+        re-checks entries whose addresses were still unseen.  The order
+        is preserved so confidence sums accumulate exactly like the
+        batch path's ``all_tags`` walk."""
+        self._tag_unresolved = 0
+        """Count of entries with a still-``None`` id."""
+        self._tag_count = -1
+        """``len(service.tags)`` when ``_tag_entries`` was built: the
+        store is append-only, so a changed count means new tags (which
+        can land mid-``all_tags``-order) — entries and the incremental
+        naming state are rebuilt from scratch."""
+        self._naming_state: dict | None = None
+        """Incremental cluster-name state for the live-view path:
+        per-entry last-resolved base roots and canonical ids, the
+        ``cid -> sorted entry indices`` grouping, and the served name
+        map.  Re-validated per height against the view's dirty-root
+        drain, so a height without cid-moving churn serves the previous
+        map untouched."""
 
     # -- entry points --------------------------------------------------
 
@@ -276,43 +298,144 @@ class QueryEngine:
         """``canonical id -> name`` at the tip, or ``None`` without tags.
 
         Same winner rule as :class:`~repro.tagging.naming.ClusterNaming`
-        (both call :func:`~repro.tagging.naming.ranked_entities`), keyed
-        by canonical cluster id so both maintenance paths serve
-        identical names."""
+        (both apply :func:`~repro.tagging.naming.ranked_entities`'s
+        ordering — here via its single-winner form
+        :func:`~repro.tagging.naming.top_entity`), keyed by canonical
+        cluster id so both maintenance paths serve identical names."""
         return self._aggregate("cluster_names", self._build_cluster_names)
+
+    def _resolved_tags(self) -> tuple[list[list], list[int]]:
+        """Every tag as ``[address id | None, entity, confidence,
+        address]`` in ``all_tags`` order, ids resolved incrementally;
+        plus the indices of entries resolved by *this* call."""
+        entries = self._tag_entries
+        tags = self.service.tags
+        if entries is None or self._tag_count != len(tags):
+            entries = self._tag_entries = [
+                [None, tag.entity, tag.confidence, tag.address]
+                for tag in tags.all_tags()
+            ]
+            self._tag_count = len(tags)
+            self._tag_unresolved = len(entries)
+            self._naming_state = None  # indices shifted: rebuild in full
+        fresh: list[int] = []
+        if self._tag_unresolved:
+            id_of = self.service.index.interner.id_of
+            for position, entry in enumerate(entries):
+                if entry[0] is None:
+                    ident = id_of(entry[3])
+                    if ident is not None:
+                        entry[0] = ident
+                        fresh.append(position)
+            self._tag_unresolved -= len(fresh)
+        return entries, fresh
+
+    def _name_of_entries(self, indices: list[int], entries: list[list]) -> str:
+        """Winner entity over one cluster's tag entries.
+
+        ``indices`` ascend, so confidence sums accumulate in ``all_tags``
+        order — bit-identical to the batch path's full walk."""
+        weights: dict[str, float] = {}
+        for position in indices:
+            entry = entries[position]
+            entity = entry[1]
+            weights[entity] = weights.get(entity, 0.0) + entry[2]
+        return top_entity(weights)
 
     def _build_cluster_names(self) -> dict[int, str] | None:
         tags = self.service.tags
         if tags is None:
             return None
         view = self._live_aggregates()
-        if view is not None:
-            id_of = self.service.index.interner.id_of
-
-            def resolve(address: str) -> int | None:
-                return view.cluster_id_of(id_of(address))
-
-        else:
+        if view is None:
             canonical = self._canonical()
             find_root = self.service.clustering.uf.find_root
+            weights: dict[int, dict[str, float]] = {}
+            for tag in tags.all_tags():
+                root = find_root(tag.address)
+                if root is None:
+                    continue
+                cluster_id = canonical[root]
+                entity_weights = weights.setdefault(cluster_id, {})
+                entity_weights[tag.entity] = (
+                    entity_weights.get(tag.entity, 0.0) + tag.confidence
+                )
+            return {
+                cluster_id: top_entity(entity_weights)
+                for cluster_id, entity_weights in weights.items()
+            }
 
-            def resolve(address: str) -> int | None:
-                root = find_root(address)
-                return None if root is None else canonical[root]
-
-        weights: dict[int, dict[str, float]] = {}
-        for tag in tags.all_tags():
-            cluster_id = resolve(tag.address)
-            if cluster_id is None:
-                continue
-            entity_weights = weights.setdefault(cluster_id, {})
-            entity_weights[tag.entity] = (
-                entity_weights.get(tag.entity, 0.0) + tag.confidence
+        entries, fresh = self._resolved_tags()
+        dirty = view.drain_naming_dirty()
+        state = self._naming_state
+        if state is None:
+            placements = view.cluster_placements_of(
+                entry[0] for entry in entries
             )
-        return {
-            cluster_id: ranked_entities(entity_weights)[0][0]
-            for cluster_id, entity_weights in weights.items()
-        }
+            roots: list[int | None] = []
+            cids: list[int | None] = []
+            by_cid: dict[int, list[int]] = {}
+            for position, placed in enumerate(placements):
+                if placed is None:
+                    roots.append(None)
+                    cids.append(None)
+                    continue
+                root, cid = placed
+                roots.append(root)
+                cids.append(cid)
+                by_cid.setdefault(cid, []).append(position)
+            names = {
+                cid: self._name_of_entries(indices, entries)
+                for cid, indices in by_cid.items()
+            }
+            self._naming_state = {
+                "roots": roots, "cids": cids, "by_cid": by_cid,
+                "names": names,
+            }
+            return names
+
+        roots = state["roots"]
+        cids = state["cids"]
+        by_cid = state["by_cid"]
+        affected = list(fresh)
+        if dirty:
+            for position, root in enumerate(roots):
+                if root is not None and root in dirty:
+                    affected.append(position)
+        if not affected:
+            return state["names"]
+        affected = sorted(set(affected))
+        placements = view.cluster_placements_of(
+            entries[position][0] for position in affected
+        )
+        changed_cids: set[int] = set()
+        for position, placed in zip(affected, placements):
+            old_cid = cids[position]
+            root, cid = placed if placed is not None else (None, None)
+            roots[position] = root
+            if cid == old_cid:
+                continue
+            if old_cid is not None:
+                by_cid[old_cid].remove(position)
+                changed_cids.add(old_cid)
+            if cid is not None:
+                insort(by_cid.setdefault(cid, []), position)
+                changed_cids.add(cid)
+            cids[position] = cid
+        if not changed_cids:
+            return state["names"]
+        # Copy-on-write: maps already served for earlier heights stay
+        # frozen in the height-keyed cache.
+        names = dict(state["names"])
+        for cid in changed_cids:
+            indices = by_cid.get(cid)
+            if indices:
+                names[cid] = self._name_of_entries(indices, entries)
+            else:
+                by_cid.pop(cid, None)
+                names.pop(cid, None)
+        state["names"] = names
+        return names
 
     def _ranking(self, by: str) -> ClusterRanking:
         """The shared per-height sorted index for one metric."""

@@ -3,8 +3,8 @@
 The forensics questions of §5 — "what does this address hold *now*, who
 else holds with it, where did the stolen coins go?" — used to be batch
 recomputations: every answer re-walked the chain.  Each view here
-instead attaches to :meth:`ChainIndex.subscribe
-<repro.chain.index.ChainIndex.subscribe>` and folds every new block
+instead attaches to :meth:`ChainIndex.subscribe_deltas
+<repro.chain.index.ChainIndex.subscribe_deltas>` and folds every new block
 into warm state the moment it is ingested, so the
 :class:`~repro.service.service.ForensicsService` answers from O(1)-ish
 lookups:
@@ -22,12 +22,20 @@ lookups:
   first/last-seen heights, the raw material for per-cluster activity
   profiles and supercluster/chokepoint queries.
 
+Every view folds from the block's shared
+:class:`~repro.chain.delta.BlockDelta` (see ``chain/delta.py``): the
+index walks each block's transactions exactly once at ingestion and the
+whole observer fan-out — engine, these views, the differential
+aggregates — reads the one flat plan, so no view ever touches a
+transaction list or re-resolves an id memo on the hot path.
+
 Every view follows the incremental engine's contract: construction
 catches up on blocks the index already holds, then streams; ``detach``
 stops following.  The equivalence property (view state at height ``h``
 == batch recomputation over the ``h``-prefix) is pinned by
 ``tests/service/test_views.py`` in the same style as the PR 1
-incremental==batch clustering test.
+incremental==batch clustering test, and the delta-vs-transaction-walk
+property by ``tests/chain/test_delta.py``.
 """
 
 from __future__ import annotations
@@ -35,26 +43,28 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..analysis.taint import TaintResult, TaintTracker, taint_step
+from ..chain.delta import BlockDelta
 from ..chain.index import ChainIndex
-from ..chain.model import Block, OutPoint
+from ..chain.model import OutPoint
 
 
 class MaterializedView:
     """Base class: catch-up, ordered streaming, detach.
 
-    Subclasses implement :meth:`_apply_block`; the base class guarantees
-    it sees every block exactly once, in height order (out-of-order
-    delivery raises, mirroring the incremental clustering engine).
+    Subclasses implement :meth:`_apply_delta`; the base class guarantees
+    it sees every block's delta exactly once, in height order
+    (out-of-order delivery raises, mirroring the incremental clustering
+    engine).
     """
 
     def __init__(self, index: ChainIndex, *, follow: bool = True) -> None:
         self.index = index
         self._height = -1
         self._unsubscribe = None
-        for block in index.blocks:
-            self._observe_block(block)
+        for height in range(index.height + 1):
+            self._observe_delta(index.block_delta(height))
         if follow:
-            self._unsubscribe = index.subscribe(self._observe_block)
+            self._unsubscribe = index.subscribe_deltas(self._observe_delta)
 
     def _adopt(self, index: ChainIndex, height: int, follow: bool) -> None:
         """Attach a snapshot-restored view to ``index`` at ``height``
@@ -66,7 +76,9 @@ class MaterializedView:
             )
         self.index = index
         self._height = height
-        self._unsubscribe = index.subscribe(self._observe_block) if follow else None
+        self._unsubscribe = (
+            index.subscribe_deltas(self._observe_delta) if follow else None
+        )
 
     @property
     def height(self) -> int:
@@ -79,16 +91,16 @@ class MaterializedView:
             self._unsubscribe()
             self._unsubscribe = None
 
-    def _observe_block(self, block: Block) -> None:
-        if block.height != self._height + 1:
+    def _observe_delta(self, delta: BlockDelta) -> None:
+        if delta.height != self._height + 1:
             raise ValueError(
                 f"blocks must stream in order: expected height "
-                f"{self._height + 1}, got {block.height}"
+                f"{self._height + 1}, got {delta.height}"
             )
-        self._apply_block(block)
-        self._height = block.height
+        self._apply_delta(delta)
+        self._height = delta.height
 
-    def _apply_block(self, block: Block) -> None:
+    def _apply_delta(self, delta: BlockDelta) -> None:
         raise NotImplementedError
 
 
@@ -115,31 +127,21 @@ class BalanceView(MaterializedView):
         """Cumulative issuance by each height."""
         super().__init__(index, follow=follow)
 
-    def _apply_block(self, block: Block) -> None:
-        index = self.index
+    def _apply_delta(self, delta: BlockDelta) -> None:
+        # The delta pre-flattened the block's debits and credits into
+        # the exact per-height event log this view keeps — folding is
+        # one pass over ``(address id, signed delta)`` pairs.
         balances = self._balances
-        events: list[tuple[int, int]] = []
-        minted = 0
-        for tx in block.transactions:
-            if tx.is_coinbase:
-                minted += tx.total_output_value
-            else:
-                # The index memoized (address id, value) per consumed
-                # output at ingestion — no prevout re-resolution here.
-                for ident, value in index.input_spends(tx):
-                    if ident >= 0:
-                        events.append((ident, -value))
-            out_ids = index.output_address_ids(tx)
-            for out, ident in zip(tx.outputs, out_ids):
-                if ident >= 0:
-                    events.append((ident, out.value))
-        for ident, delta in events:
+        events = list(delta.events)
+        for ident, change in events:
             if ident >= len(balances):
                 balances.extend([0] * (ident + 1 - len(balances)))
-            balances[ident] += delta
+            balances[ident] += change
         self._events.append(events)
-        self._coinbase.append(minted)
-        self._supply.append((self._supply[-1] if self._supply else 0) + minted)
+        self._coinbase.append(delta.minted)
+        self._supply.append(
+            (self._supply[-1] if self._supply else 0) + delta.minted
+        )
 
     # -- durable state -------------------------------------------------
 
@@ -271,19 +273,19 @@ class TaintView(MaterializedView):
         serve pre-watch answers."""
         super().__init__(index, follow=follow)
 
-    def _apply_block(self, block: Block) -> None:
+    def _apply_delta(self, delta: BlockDelta) -> None:
         if not self._cases:
             return
         index = self.index
         for case in self._cases.values():
             if not case.taint:
                 continue
-            for tx in block.transactions:
-                if tx.is_coinbase:
+            for txd in delta.txs:
+                if txd.is_coinbase:
                     continue
                 frontier = taint_step(
                     index,
-                    tx,
+                    txd.tx,
                     case.taint,
                     name_of_address=self.name_of_address,
                     min_taint=self.min_taint,
@@ -429,10 +431,11 @@ class ActivityView(MaterializedView):
     """Per-address tx incidence counts and first/last-seen heights.
 
     A transaction *involves* an address when the address appears among
-    its resolved input senders (:meth:`ChainIndex.input_address_ids
-    <repro.chain.index.ChainIndex.input_address_ids>`) or its outputs.
-    Per-cluster rollups (:meth:`cluster_activity`) feed the service's
-    ``top_clusters`` / ``cluster_profile`` queries.
+    its resolved input senders or its outputs — the delta's
+    pre-deduplicated :attr:`~repro.chain.delta.TxDelta.involved` list,
+    read here without allocating a per-tx set.  Per-cluster rollups
+    (:meth:`cluster_activity`) feed the service's ``top_clusters`` /
+    ``cluster_profile`` queries.
     """
 
     def __init__(self, index: ChainIndex, *, follow: bool = True) -> None:
@@ -441,23 +444,18 @@ class ActivityView(MaterializedView):
         self._last_seen: list[int] = []
         super().__init__(index, follow=follow)
 
-    def _apply_block(self, block: Block) -> None:
-        index = self.index
-        height = block.height
+    def _apply_delta(self, delta: BlockDelta) -> None:
+        height = delta.height
         counts = self._tx_counts
         first = self._first_seen
         last = self._last_seen
-        for tx in block.transactions:
-            involved = set(index.input_address_ids(tx))
-            involved.update(
-                ident for ident in index.output_address_ids(tx) if ident >= 0
-            )
-            for ident in involved:
-                if ident >= len(counts):
-                    grow = ident + 1 - len(counts)
-                    counts.extend([0] * grow)
-                    first.extend([-1] * grow)
-                    last.extend([-1] * grow)
+        if delta.max_id >= len(counts):
+            grow = delta.max_id + 1 - len(counts)
+            counts.extend([0] * grow)
+            first.extend([-1] * grow)
+            last.extend([-1] * grow)
+        for txd in delta.txs:
+            for ident in txd.involved:
                 counts[ident] += 1
                 if first[ident] < 0:
                     first[ident] = height

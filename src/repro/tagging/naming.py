@@ -34,6 +34,15 @@ def ranked_entities(weights: Mapping[str, float]) -> list[tuple[str, float]]:
     return sorted(weights.items(), key=lambda kv: (-kv[1], kv[0]))
 
 
+def top_entity(weights: Mapping[str, float]) -> str:
+    """``ranked_entities(weights)[0][0]`` without sorting the rest.
+
+    The hot naming paths only need the winner; this is the same rule
+    (highest summed confidence, ties by entity name) in one pass.
+    """
+    return min(weights.items(), key=lambda kv: (-kv[1], kv[0]))[0]
+
+
 @dataclass
 class NamedCluster:
     """One cluster that received a name."""

@@ -7,6 +7,7 @@ from repro.chain.model import (
     COIN,
     Block,
     GENESIS_PREV_HASH,
+    TxOut,
     block_subsidy,
     btc,
     format_btc,
@@ -129,3 +130,32 @@ class TestBlock:
             transactions=[coinbase(addr("b"))],
         )
         assert blk1.hash != blk2.hash
+
+
+class TestTxOutAddressMemo:
+    def _txout(self):
+        from repro.chain import script
+
+        return TxOut(
+            value=7, script_pubkey=script.p2pkh_script_for_address(addr("memo"))
+        )
+
+    def test_address_memoized_and_equality_unaffected(self):
+        out = self._txout()
+        assert out.address == addr("memo")
+        assert out.address == addr("memo")  # second read hits the memo
+        # The memo slot is excluded from equality: a cold and a warm
+        # output with the same script compare equal.
+        assert out == self._txout()
+
+    def test_pickle_roundtrip_preserves_cold_and_warm_memo(self):
+        import pickle
+
+        cold = self._txout()
+        revived = pickle.loads(pickle.dumps(cold))
+        # The unresolved sentinel pickles by reference, so the revived
+        # output resolves its address instead of leaking the sentinel.
+        assert revived.address == addr("memo")
+        warm = self._txout()
+        assert warm.address == addr("memo")
+        assert pickle.loads(pickle.dumps(warm)).address == addr("memo")

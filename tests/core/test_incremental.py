@@ -173,7 +173,7 @@ class TestStreaming:
         engine.detach()
         target.add_block(source.block_at(0))
         with pytest.raises(ValueError):
-            engine._observe_block(source.block_at(2))
+            engine._observe_delta(source.block_delta(2))
 
     def test_empty_chain_tip_matches_batch(self):
         index = ChainIndex()

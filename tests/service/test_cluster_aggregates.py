@@ -121,6 +121,66 @@ class TestDifferentialEqualsBatchAtEveryHeight:
                     ), (block.height, kind, address)
 
 
+class TestIncrementalClusterNames:
+    def test_incremental_names_equal_full_rebuild_at_every_height(
+        self, micro_world
+    ):
+        """The live-view naming path patches its name map from the
+        view's dirty-root drain; at every height it must equal a
+        from-scratch build (fresh QueryEngine, empty naming state) —
+        merges, group dissolutions, and voids included."""
+        from repro.service.queries import QueryEngine
+
+        attack = micro_world.extras.get("attack")
+        tags = attack.tags if attack is not None else None
+        assert tags is not None and len(tags) > 0
+        target = ChainIndex()
+        service = ForensicsService(target, tags=tags)
+        for block in micro_world.blocks[:80]:
+            target.add_block(block)
+            incremental = service.queries._cluster_names()
+            # Fresh engine: no cached placements, full build.  Runs
+            # after the incremental build so it cannot steal the
+            # single-consumer dirty drain.
+            full = QueryEngine(service)._build_cluster_names()
+            assert incremental == full, block.height
+
+    def test_tags_added_after_first_build_are_picked_up(self, micro_world):
+        """The tag store is append-only but live: a tag added after the
+        first name build must flow into later heights on the live-view
+        path (the entries snapshot rebuilds on count change)."""
+        from repro.tagging.tags import Tag
+
+        attack = micro_world.extras.get("attack")
+        tags = attack.tags if attack is not None else None
+        target = ChainIndex()
+        service = ForensicsService(target, tags=tags)
+        blocks = micro_world.blocks
+        for block in blocks[:30]:
+            target.add_block(block)
+        before = service.queries._cluster_names()
+        # Tag an address that already has a cluster but no name yet.
+        interner = target.interner
+        named_cids = set(before)
+        victim = None
+        for ident in range(len(interner)):
+            cid = service.aggregates.cluster_id_of(ident)
+            if cid is not None and cid not in named_cids:
+                victim = interner.address_of(ident)
+                break
+        assert victim is not None
+        tags.add(Tag(address=victim, entity="Late Entity", source="user",
+                     confidence=1.0))
+        target.add_block(blocks[30])
+        after = service.queries._cluster_names()
+        late_cid = service.aggregates.cluster_id_of(interner.id_of(victim))
+        assert after.get(late_cid) == "Late Entity"
+        # And the incremental state stays equal to a full rebuild.
+        from repro.service.queries import QueryEngine
+
+        assert after == QueryEngine(service)._build_cluster_names()
+
+
 class TestMergeHookAndTimeTravel:
     def test_view_survives_interleaved_time_travel(self, micro_world):
         """The engine's snapshot()/cluster_as_of() brackets roll its
@@ -149,20 +209,24 @@ class TestMergeHookAndTimeTravel:
 
     def test_fold_retraction_refused(self, micro_world):
         """The view's base partition is never rolled back; a retraction
-        surfacing at its merge cursor is a bug, not a silent unfold."""
+        surfacing at its merge cursor is a bug, not a silent unfold.
+        Folding is lazily flushed, so the refusal surfaces on the first
+        query after the rollback, not inside ``add_block``."""
         target = ChainIndex()
         service = ForensicsService(target, tags=None)
         view = service.aggregates
         fed = 0
         for block in micro_world.blocks:
             target.add_block(block)
+            view.cluster_count  # flush the queued block
             fed += 1
             if view._uf.checkpoint() > 0:  # some base merges happened
                 break
         assert view._uf.checkpoint() > 0
         view._uf.rollback(0)
+        target.add_block(micro_world.index.block_at(fed))
         with pytest.raises(RuntimeError, match="rolled back"):
-            target.add_block(micro_world.index.block_at(fed))
+            view.cluster_count
 
 
 class TestFallbackBelowLiveHeight:

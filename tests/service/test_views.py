@@ -153,7 +153,7 @@ class TestViewMechanics:
         view.detach()
         target.add_block(source.block_at(0))
         with pytest.raises(ValueError, match="order"):
-            view._observe_block(source.block_at(2))
+            view._observe_delta(source.block_delta(2))
 
     def test_detach_freezes_state(self):
         source = self._chain()
