@@ -23,19 +23,28 @@ Two numbers are pinned:
 GC is disabled inside the timed regions (and re-enabled after): the
 collector otherwise attributes its pauses to whichever phase happens to
 allocate past a threshold, which is noise, not ingest cost.
+
+Scenario size is sweepable without code edits: set
+``INGEST_BENCH_BLOCKS`` (and optionally ``INGEST_BENCH_USERS``) to
+build a dedicated economy of that size instead of the shared 600-block
+default world — the nightly job uses this to probe larger scales.
 """
 
 import gc
+import os
 import time
+
+import pytest
 
 from repro.chain.index import ChainIndex
 from repro.service import ForensicsService
+from repro.simulation import scenarios
 
 
 FANOUT_OVERHEAD_BOUND = 4.0
 """Full fan-out ingest may cost at most this factor over bare chain
-ingestion (measured ~2.1× for the fan-out alone, ~2.7× including the
-coalesced flush)."""
+ingestion (measured ~2.6× for the fan-out alone, ~3.2–3.5× including
+the coalesced flush)."""
 
 
 def _warm_world(world) -> None:
@@ -86,12 +95,27 @@ def _fanout_ingest_seconds(world) -> tuple[float, float]:
     return ingest, flush
 
 
+@pytest.fixture(scope="module")
+def ingest_world(request):
+    """The shared 600-block default world, unless ``INGEST_BENCH_BLOCKS``
+    asks for a dedicated economy of a different size."""
+    blocks = os.environ.get("INGEST_BENCH_BLOCKS")
+    if blocks is None:
+        return request.getfixturevalue("bench_default_world")
+    users = int(os.environ.get("INGEST_BENCH_USERS", "60"))
+    return scenarios.default_economy(
+        seed=0, n_blocks=int(blocks), n_users=users
+    )
+
+
 def test_full_fanout_ingest_within_bound_of_bare_chain(
-    bench_default_world, bench_report
+    ingest_world, bench_report
 ):
-    world = bench_default_world
+    world = ingest_world
     n_blocks = world.index.height + 1
-    assert n_blocks >= 600
+    assert n_blocks >= min(
+        600, int(os.environ.get("INGEST_BENCH_BLOCKS", "600"))
+    )
     _warm_world(world)
 
     bare = _bare_ingest_seconds(world)

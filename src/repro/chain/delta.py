@@ -26,6 +26,18 @@ into one immutable, id-space :class:`BlockDelta`:
   (:attr:`BlockDelta.max_id`) so consumers grow their dense arrays once
   per block instead of once per address.
 
+Alongside those tuple views the delta carries the same facts
+*columnar*: typed, contiguous int64 buffers built once per block
+(:attr:`BlockDelta.event_ids` / :attr:`BlockDelta.event_values`,
+:attr:`BlockDelta.involved_ids`, :attr:`BlockDelta.involved_flat`, and
+the H1 co-spend pair arrays :attr:`BlockDelta.h1_a` /
+:attr:`BlockDelta.h1_b`).  These are what the vectorized fold kernels
+consume — one ``np.add.at`` scatter per block instead of a per-element
+Python loop — while the tuple views remain the scalar reference the
+kernels are property-tested against.  The buffers are read-only: one
+delta object is shared by the whole fan-out and may be retained by
+lazily-flushed consumers.
+
 Settled/voided H2 label churn is deliberately *not* here: it is a
 function of clustering state, not of the raw block, and stays on
 :meth:`IncrementalClusteringEngine.cluster_delta
@@ -43,7 +55,23 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from .model import Block, Transaction
+
+
+def _as_int64(values) -> np.ndarray:
+    """Read-only little-endian int64 column.
+
+    Read-only because one delta object is shared by the whole observer
+    fan-out (and may be retained by lazily-flushed consumers), so no
+    subscriber can corrupt another's view of it.  (A local twin of
+    :func:`repro.core.arrays.as_int64` — importing ``core`` from here
+    would close an import cycle through ``core.clustering``.)
+    """
+    array = np.asarray(values, dtype="<i8")
+    array.flags.writeable = False
+    return array
 
 
 @dataclass(frozen=True, slots=True)
@@ -101,6 +129,36 @@ class BlockDelta:
     """Largest address id involved in the block (-1 when none): dense
     consumers grow their arrays to ``max_id + 1`` once per block."""
 
+    event_ids: np.ndarray
+    """Columnar :attr:`events`: the address-id column as a read-only
+    int64 array, aligned with :attr:`event_values`."""
+
+    event_values: np.ndarray
+    """Columnar :attr:`events`: the signed satoshi-delta column."""
+
+    involved_ids: np.ndarray
+    """Columnar :attr:`involved` (block-level deduplicated ids)."""
+
+    involved_flat: np.ndarray
+    """Per-tx ``involved`` lists concatenated in tx order (duplicates
+    across txs retained): an address involved in k of the block's txs
+    appears k times — exactly the incidence multiset activity and
+    aggregate folds count, scatterable in one ``np.add.at``."""
+
+    h1_a: np.ndarray
+    """H1 co-spend union pairs, first column: for every non-coinbase tx
+    with senders ``(i0, i1, …, ik)``, the pairs ``(i0, i1) … (i0, ik)``
+    in tx order.  Unioning these pairs left-to-right produces the *same
+    merge log* as the per-tx ``union_many(input_ids)`` chain (the
+    running root is always ``find(i0)``), so the engine batches the
+    whole block through one
+    :meth:`IntUnionFind.union_many(h1_a, h1_b)
+    <repro.core.union_find.IntUnionFind.union_many>` call."""
+
+    h1_b: np.ndarray
+    """H1 co-spend union pairs, second column (aligned with
+    :attr:`h1_a`)."""
+
     @property
     def height(self) -> int:
         return self.block.height
@@ -119,7 +177,11 @@ def build_block_delta(index, block: Block) -> BlockDelta:
     streaming pipeline performs per block.
     """
     txs: list[TxDelta] = []
-    events: list[tuple[int, int]] = []
+    event_ids: list[int] = []
+    event_values: list[int] = []
+    involved_flat: list[int] = []
+    h1_a: list[int] = []
+    h1_b: list[int] = []
     block_involved: dict[int, None] = {}
     minted = 0
     max_id = -1
@@ -134,15 +196,23 @@ def build_block_delta(index, block: Block) -> BlockDelta:
             input_spends = index.input_spends(tx)
             for ident, value in input_spends:
                 if ident >= 0:
-                    events.append((ident, -value))
+                    event_ids.append(ident)
+                    event_values.append(-value)
+            if len(input_ids) > 1:
+                first = input_ids[0]
+                for partner in input_ids[1:]:
+                    h1_a.append(first)
+                    h1_b.append(partner)
         involved = dict.fromkeys(input_ids)
         for out, ident in zip(tx.outputs, output_ids):
             if ident >= 0:
-                events.append((ident, out.value))
+                event_ids.append(ident)
+                event_values.append(out.value)
                 involved[ident] = None
         for ident in involved:
             if ident > max_id:
                 max_id = ident
+        involved_flat.extend(involved)
         block_involved.update(involved)
         txs.append(
             TxDelta(
@@ -154,11 +224,18 @@ def build_block_delta(index, block: Block) -> BlockDelta:
                 involved=tuple(involved),
             )
         )
+    involved_tuple = tuple(block_involved)
     return BlockDelta(
         block=block,
         txs=tuple(txs),
-        events=tuple(events),
+        events=tuple(zip(event_ids, event_values)),
         minted=minted,
-        involved=tuple(block_involved),
+        involved=involved_tuple,
         max_id=max_id,
+        event_ids=_as_int64(event_ids),
+        event_values=_as_int64(event_values),
+        involved_ids=_as_int64(involved_tuple),
+        involved_flat=_as_int64(involved_flat),
+        h1_a=_as_int64(h1_a),
+        h1_b=_as_int64(h1_b),
     )

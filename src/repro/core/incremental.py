@@ -248,15 +248,20 @@ class IncrementalClusteringEngine:
             self._max_id = delta.max_id
             if delta.max_id >= len(uf):
                 uf.ensure(delta.max_id + 1)
-        for txd in delta.txs:
-            # 1. Wait-rule voiding: a receive to a watched candidate at a
-            #    *later* height, inside its window, kills the label —
-            #    unless every sender is a known dice game (§4.2).
-            if watching and self._watch:
+        # 1. Wait-rule voiding: a receive to a watched candidate at a
+        #    *later* height, inside its window, kills the label — unless
+        #    every sender is a known dice game (§4.2).  Runs before the
+        #    unions but never reads the union-find, so hoisting the H1
+        #    pass out of the per-tx loop changes nothing.
+        if watching and self._watch:
+            for txd in delta.txs:
                 self._apply_voiding(txd, height, now)
-            # 2. H1: co-spent inputs union (outputs already seated above).
-            if not txd.is_coinbase and txd.input_ids:
-                uf.union_many(txd.input_ids)
+        # 2. H1: co-spent inputs union (outputs already seated above).
+        #    The delta pre-flattened every tx's co-spend chain into one
+        #    pair-array pass — same merge log as per-tx union_many
+        #    chains (see BlockDelta.h1_a), one C loop per block.
+        if len(delta.h1_a):
+            uf.union_many(delta.h1_a, delta.h1_b)
         # 3. H2: purely-past label decisions for this block's txs.  Runs
         #    after the voiding pass so same-height receives never void a
         #    newborn label (the batch rule is strictly-later receives).

@@ -2,16 +2,23 @@
 
 :class:`UnionFind` works over arbitrary hashable items (tags, test
 fixtures, miscellaneous groupings).  The clustering hot path instead
-runs on :class:`IntUnionFind`, which is backed by flat lists indexed by
-the dense address ids the chain layer interns, and which keeps an undo
-log so unions can be checkpointed and rolled back — the mechanism behind
-the incremental engine's time-travel snapshots.
+runs on :class:`IntUnionFind`, which is backed by flat int64 arrays
+indexed by the dense address ids the chain layer interns, and which
+keeps an undo log so unions can be checkpointed and rolled back — the
+mechanism behind the incremental engine's time-travel snapshots.  The
+array backing is what makes :meth:`IntUnionFind.find_many` possible:
+batch root resolution as a handful of whole-array gathers instead of
+one pointer-chase loop per id.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 from typing import Hashable, Iterable, Iterator
+
+import numpy as np
+
+from .arrays import IntVector
 
 
 class UnionFind:
@@ -155,8 +162,13 @@ class IntUnionFind:
     resetting one parent pointer — which is what makes
     :meth:`checkpoint` / :meth:`rollback` / :meth:`replay` exact.  Finds
     are O(log n) worst case (union-by-size bounds tree depth), which the
-    flat-list backing more than pays back against the dict-of-strings
-    structure on the clustering hot path.
+    flat-array backing more than pays back against the dict-of-strings
+    structure on the clustering hot path.  Parents and sizes live in
+    :class:`~repro.core.arrays.IntVector` buffers; scalar methods bind
+    the raw backing array (``_data``) in their loops — safe because a
+    live id's parent is always a live id, so walks never enter the
+    capacity tail — and :meth:`find_many` resolves whole id batches by
+    iterated gather.
 
     Consumers that maintain *derived* per-cluster state (the service's
     differential cluster aggregates) subscribe to the merge log with
@@ -169,21 +181,24 @@ class IntUnionFind:
     __slots__ = ("_parent", "_size", "_components", "_log", "_cursors")
 
     def __init__(self, n: int = 0) -> None:
-        self._parent: list[int] = list(range(n))
-        self._size: list[int] = [1] * n
-        self._components = n
+        self._parent = IntVector()
+        self._size = IntVector()
+        self._components = 0
         self._log: list[tuple[int, int]] = []
         """Merge log: ``(absorbed_root, kept_root)`` per effective union."""
         self._cursors: list[MergeCursor] = []
         """Registered merge-log consumers (see :meth:`merge_cursor`)."""
+        if n:
+            self.ensure(n)
 
     def ensure(self, n: int) -> None:
         """Grow the universe so ids ``0..n-1`` exist (as singletons)."""
         current = len(self._parent)
         if n <= current:
             return
-        self._parent.extend(range(current, n))
-        self._size.extend([1] * (n - current))
+        self._parent.grow_to(n)
+        self._parent.array[current:] = np.arange(current, n, dtype="<i8")
+        self._size.grow_to(n, fill=1)
         self._components += n - current
 
     def __len__(self) -> int:
@@ -198,34 +213,119 @@ class IntUnionFind:
 
     def find(self, item: int) -> int:
         """Root of ``item``'s set (no path compression; see class doc)."""
-        parent = self._parent
-        while parent[item] != item:
-            item = parent[item]
-        return item
+        parent = self._parent._data
+        above = parent[item]
+        while above != item:
+            item = above
+            above = parent[item]
+        return int(item)
+
+    def find_many(self, ids) -> np.ndarray:
+        """Roots of every id in ``ids``, as a fresh int64 array.
+
+        Iterated whole-batch gather: each pass replaces every id with
+        its parent, so the loop runs max-tree-depth times — O(log n)
+        passes of C-speed indexing instead of a Python pointer chase per
+        id.  Read-only (no compression, like :meth:`find`), so it is
+        safe between :meth:`checkpoint` and :meth:`rollback`.  The win
+        is batch size: at tens of thousands of ids this is ~8× faster
+        than a :meth:`find` loop; for a handful of ids prefer the loop.
+        """
+        roots = np.asarray(ids, dtype="<i8")
+        parent = self._parent._data
+        while True:
+            above = parent[roots]
+            if np.array_equal(above, roots):
+                return above
+            roots = above
 
     def union(self, a: int, b: int) -> int:
         """Merge the sets of ``a`` and ``b``; logs the merge for undo."""
         ra, rb = self.find(a), self.find(b)
         if ra == rb:
             return ra
-        if self._size[ra] < self._size[rb]:
+        size = self._size._data
+        if size[ra] < size[rb]:
             ra, rb = rb, ra
-        self._parent[rb] = ra
-        self._size[ra] += self._size[rb]
+        self._parent._data[rb] = ra
+        size[ra] += size[rb]
         self._components -= 1
         self._log.append((rb, ra))
         return ra
 
-    def union_many(self, items: Iterable[int]) -> int | None:
-        """Merge every id in ``items`` into one set; returns its root."""
-        iterator = iter(items)
-        try:
-            root = self.find(next(iterator))
-        except StopIteration:
-            return None
-        for item in iterator:
-            root = self.union(root, item)
-        return root
+    def union_many(self, items, partners=None) -> int | None:
+        """Chain or bulk-pair unions, undo-log contract preserved.
+
+        * ``union_many(items)`` — merge every id in ``items`` into one
+          set; returns its root (the original chain form).
+        * ``union_many(ids_a, ids_b)`` — the bulk batch entry point:
+          union ``(ids_a[k], ids_b[k])`` for every k, in order, exactly
+          as a sequential :meth:`union` loop would — identical merge
+          log, so :meth:`checkpoint` / :meth:`rollback` / merge cursors
+          observe nothing different.  Accepts any aligned int sequences
+          (numpy int64 arrays are converted once, at C speed); the loop
+          binds the parent/size/log structures to locals, walks with
+          ``ndarray.item`` (plain Python ints, no numpy scalar churn),
+          and memoizes the anchor's root across consecutive pairs that
+          share it (the co-spend columns emit one anchor per tx), so
+          the engine's per-block H1 pass pays one deep walk per
+          distinct id — the same count as the per-tx chain form — and
+          one call per *block*.  Returns ``None``.
+        """
+        if partners is None:
+            iterator = iter(items)
+            try:
+                root = self.find(next(iterator))
+            except StopIteration:
+                return None
+            for item in iterator:
+                root = self.union(root, item)
+            return root
+        ids_a = items.tolist() if hasattr(items, "tolist") else items
+        ids_b = partners.tolist() if hasattr(partners, "tolist") else partners
+        if len(ids_a) != len(ids_b):
+            raise ValueError(
+                f"pair arrays misaligned: {len(ids_a)} vs {len(ids_b)}"
+            )
+        parent = self._parent._data
+        size = self._size._data
+        step = parent.item
+        weight = size.item
+        append = self._log.append
+        merged = 0
+        anchor = anchor_root = -1
+        for a, b in zip(ids_a, ids_b):
+            if a == anchor:
+                # Consecutive pairs share their tx's anchor: restart the
+                # walk at its last known root (still current — nothing
+                # merged it away between consecutive pairs) instead of
+                # re-walking from the leaf.
+                a = anchor_root
+            else:
+                anchor = a
+            above = step(a)
+            while above != a:
+                a = above
+                above = step(a)
+            anchor_root = a
+            above = step(b)
+            while above != b:
+                b = above
+                above = step(b)
+            if a == b:
+                continue
+            sa = weight(a)
+            sb = weight(b)
+            if sa < sb:
+                a, b = b, a
+                sa, sb = sb, sa
+            parent[b] = a
+            size[a] = sa + sb
+            merged += 1
+            append((b, a))
+            anchor_root = a
+        self._components -= merged
+        return None
 
     def connected(self, a: int, b: int) -> bool:
         return self.find(a) == self.find(b)
@@ -234,25 +334,28 @@ class IntUnionFind:
         return self._size[self.find(item)]
 
     @property
-    def root_sizes(self) -> list[int]:
-        """The per-id size array (meaningful only at roots; junk
+    def root_sizes(self) -> IntVector:
+        """The per-id size vector (meaningful only at roots; junk
         elsewhere).  Exposed read-only for hot-path consumers that
         already hold roots — indexing this skips the :meth:`size_of`
-        find.  Callers must not mutate it."""
+        find, and item access returns plain Python ints.  Callers must
+        not mutate it."""
         return self._size
 
     def component_sizes(self) -> dict[int, int]:
         """``root -> component size`` (roots are self-parented ids)."""
-        size = self._size
-        return {
-            i: size[i] for i, p in enumerate(self._parent) if p == i
-        }
+        parent = self._parent.array
+        roots = np.nonzero(parent == np.arange(len(parent), dtype="<i8"))[0]
+        sizes = self._size.array[roots]
+        return dict(zip(roots.tolist(), sizes.tolist()))
 
     def components(self) -> dict[int, list[int]]:
         """Materialize all sets as ``root -> member ids``."""
+        n = len(self._parent)
+        roots = self.find_many(np.arange(n, dtype="<i8")).tolist()
         out: dict[int, list[int]] = defaultdict(list)
-        for i in range(len(self._parent)):
-            out[self.find(i)].append(i)
+        for i, root in enumerate(roots):
+            out[root].append(i)
         return dict(out)
 
     # ------------------------------------------------------------------
@@ -272,8 +375,8 @@ class IntUnionFind:
         ``retracted`` count bumped, so a drain-based consumer can never
         silently miss that merges it already folded were undone."""
         undone = self._log[token:]
-        parent = self._parent
-        size = self._size
+        parent = self._parent._data
+        size = self._size._data
         for absorbed, kept in reversed(undone):
             parent[absorbed] = absorbed
             size[kept] -= size[absorbed]
@@ -294,8 +397,8 @@ class IntUnionFind:
         currently be a root.  No finds are needed, so replay is O(1) per
         entry.
         """
-        parent = self._parent
-        size = self._size
+        parent = self._parent._data
+        size = self._size._data
         log = self._log
         n = 0
         for absorbed, kept in entries:
@@ -360,8 +463,8 @@ class IntUnionFind:
     def copy(self) -> "IntUnionFind":
         """An independent copy (log included; merge cursors are not)."""
         clone = IntUnionFind()
-        clone._parent = list(self._parent)
-        clone._size = list(self._size)
+        clone._parent = self._parent.copy()
+        clone._size = self._size.copy()
         clone._components = self._components
         clone._log = list(self._log)
         return clone
@@ -377,22 +480,47 @@ class IntUnionFind:
         engine's time travel replays log prefixes, so a restored
         structure must be able to answer every historical horizon the
         live one could.
+
+        Arrays are exported as raw little-endian int64 bytes (the log
+        as an ``(n, 2)`` row-major buffer): at a million addresses the
+        parent/size/log columns dominate the engine and aggregate
+        segments, and a flat-bytes export keeps snapshot cost one
+        ``memcpy`` per column instead of a Python-object copy per id.
+        :meth:`from_state` also accepts the pre-bytes list shape, so
+        older snapshots stay restorable.
         """
         return {
-            "parent": list(self._parent),
-            "size": list(self._size),
+            "parent": self._parent.tobytes(),
+            "size": self._size.tobytes(),
             "components": self._components,
-            "log": [tuple(entry) for entry in self._log],
+            "log": np.asarray(
+                self._log if self._log else np.empty((0, 2)), dtype="<i8"
+            ).tobytes(),
         }
 
     @classmethod
     def from_state(cls, state: dict) -> "IntUnionFind":
-        """Rebuild a structure from :meth:`export_state` output."""
+        """Rebuild a structure from :meth:`export_state` output.
+
+        Accepts both the columnar bytes shape and the legacy list shape
+        (pre-kernel snapshots), detected by the payload type.
+        """
         uf = cls()
-        uf._parent = list(state["parent"])
-        uf._size = list(state["size"])
+        parent = state["parent"]
+        if isinstance(parent, bytes):
+            uf._parent = IntVector.from_bytes(parent)
+            uf._size = IntVector.from_bytes(state["size"])
+            uf._log = [
+                (absorbed, kept)
+                for absorbed, kept in np.frombuffer(state["log"], dtype="<i8")
+                .reshape(-1, 2)
+                .tolist()
+            ]
+        else:
+            uf._parent = IntVector.from_list(parent)
+            uf._size = IntVector.from_list(state["size"])
+            uf._log = [tuple(entry) for entry in state["log"]]
         uf._components = state["components"]
-        uf._log = [tuple(entry) for entry in state["log"]]
         if len(uf._parent) != len(uf._size):
             raise ValueError("union-find state parents/sizes misaligned")
         return uf

@@ -50,12 +50,27 @@ from __future__ import annotations
 from bisect import bisect_left, insort
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..chain.delta import BlockDelta
 from ..chain.index import ChainIndex
+from ..core.arrays import IntVector
 from ..core.incremental import IncrementalClusteringEngine
 from ..core.union_find import IntUnionFind
 from .queries import ClusterRanking, TOP_CLUSTER_METRICS
 from .views import ClusterActivity, MaterializedView
+
+
+def _fold_array(state_value) -> IntVector:
+    """Restore one fold array from bytes (v2) or a list (v1 snapshots).
+
+    The live arrays are :class:`~repro.core.arrays.IntVector` buffers:
+    the merge folds index them scalar-by-scalar (item access returns
+    plain Python ints), while the kernelized churn fold scatters into
+    the backing numpy array directly."""
+    if isinstance(state_value, bytes):
+        return IntVector.from_bytes(state_value)
+    return IntVector.from_list(state_value)
 
 
 class RankIndex:
@@ -178,18 +193,25 @@ class ClusterAggregateView(MaterializedView):
         *,
         engine: IncrementalClusteringEngine,
         follow: bool = True,
+        use_kernels: bool = True,
     ) -> None:
         self.engine = engine
+        self._use_kernels = use_kernels
+        """Kernelized churn: per-address balance/incidence folding is
+        batched per *flush* through :meth:`_fold_churn` (numpy group-by
+        over every queued block's columnar buffers) instead of one
+        Python dict pass per block.  ``use_kernels=False`` keeps the
+        scalar per-block reference fold."""
         self._uf = IntUnionFind()
         """Base partition: H1 merges + settled change links."""
         self._cursor = self._uf.merge_cursor()
         """Fold hook: every base merge is drained into aggregate folds."""
-        self._balance: list[int] = []
+        self._balance = IntVector()
         """Per base root: summed member balance (junk at non-roots)."""
-        self._tx_count: list[int] = []
-        self._first: list[int] = []
-        self._last: list[int] = []
-        self._min_member: list[int] = []
+        self._tx_count = IntVector()
+        self._first = IntVector()
+        self._last = IntVector()
+        self._min_member = IntVector()
         """Per base root: minimum member id — the canonical cluster id."""
         self._open: set = set()
         """Open-window (still voidable) live labels, maintained from the
@@ -247,8 +269,17 @@ class ClusterAggregateView(MaterializedView):
 
         stale_cids: set[int] = set()
         touched: set[int] = set()
+        deferred: list[
+            tuple[int, np.ndarray, np.ndarray, np.ndarray]
+        ] | None = ([] if self._use_kernels else None)
         for delta in pending:
-            self._fold_block(delta, stale_cids, touched)
+            self._fold_block(delta, stale_cids, touched, deferred)
+        if deferred:
+            # Kernel mode deferred every block's per-address churn; fold
+            # it now, after the per-block merge folds (so every id lands
+            # at its post-merge root) and before the overlay rebuild
+            # (which reads the base arrays).
+            self._fold_churn(deferred, touched)
 
         # Overlay rebuild from the now-current open links, resolving
         # each endpoint's post-fold base root exactly once.  A root
@@ -260,7 +291,18 @@ class ClusterAggregateView(MaterializedView):
         open_links = [
             live for live in self._open if live.input_id is not None
         ]
-        touched_roots = {find(ident) for ident in touched}
+        # Resolve the flush's touched ids to post-fold roots in one
+        # batch gather — at bulk-ingest flushes this set spans every
+        # address the queued blocks touched.
+        touched_roots = (
+            set(
+                uf.find_many(
+                    np.fromiter(touched, dtype="<i8", count=len(touched))
+                ).tolist()
+            )
+            if touched
+            else set()
+        )
         pairs: list[tuple[int, int]] = []
         for live in open_links:
             ra = find(live.address_id)
@@ -322,14 +364,21 @@ class ClusterAggregateView(MaterializedView):
         self._refresh_ranks(stale_cids, new_entries)
 
     def _fold_block(
-        self, delta: BlockDelta, stale_cids: set[int], touched: set[int]
+        self,
+        delta: BlockDelta,
+        stale_cids: set[int],
+        touched: set[int],
+        deferred: list | None = None,
     ) -> None:
         """Fold one queued block into the base partition and arrays.
 
         ``stale_cids`` collects canonical ids that may disappear
         (resolved *before* the block's unions fold them away);
         ``touched`` collects address ids whose post-fold clusters need
-        their rank entries refreshed.
+        their rank entries refreshed.  When ``deferred`` is given
+        (kernel mode) the per-address balance/incidence fold is
+        deferred: the block's columnar buffers are queued for one
+        batched :meth:`_fold_churn` pass at the end of the flush.
         """
         height = delta.height
         churn = self.engine.cluster_delta(height)
@@ -342,12 +391,15 @@ class ClusterAggregateView(MaterializedView):
         max_id = delta.max_id
         if max_id >= grown_from:
             uf.ensure(max_id + 1)
-            grow = max_id + 1 - grown_from
-            self._balance.extend([0] * grow)
-            self._tx_count.extend([0] * grow)
-            self._first.extend([-1] * grow)
-            self._last.extend([-1] * grow)
-            min_member.extend(range(grown_from, max_id + 1))
+            n = max_id + 1
+            self._balance.grow_to(n)
+            self._tx_count.grow_to(n)
+            self._first.grow_to(n, fill=-1)
+            self._last.grow_to(n, fill=-1)
+            min_member.grow_to(n)
+            min_member.array[grown_from:] = np.arange(
+                grown_from, n, dtype="<i8"
+            )
 
         # 2. Open-label bookkeeping off the engine's delta: watched
         #    births join the overlay set, voids and settles leave it.
@@ -414,7 +466,29 @@ class ClusterAggregateView(MaterializedView):
         #    deltas off the delta's flat event log, incidences off the
         #    pre-deduplicated per-tx involved lists — one find per
         #    touched id (every balance-event id also has an incidence,
-        #    so the single pass covers both dicts).
+        #    so the single pass covers both dicts).  Kernel mode defers
+        #    this to one batched pass per flush: balance is a pure sum,
+        #    first/last are min/max folds, and all three commute with
+        #    the merge folds above, so applying the whole flush's churn
+        #    at the final post-merge roots is equivalent.
+        if deferred is not None:
+            deferred.append(
+                (height, delta.event_ids, delta.event_values,
+                 delta.involved_flat)
+            )
+            return
+        self._fold_block_churn(delta, touched)
+
+    def _fold_block_churn(self, delta: BlockDelta, touched: set[int]) -> None:
+        """Scalar per-block churn fold: the per-element reference path
+        that :meth:`_fold_churn` batches per flush in kernel mode (and
+        the stage the scale benchmark times against it)."""
+        height = delta.height
+        find = self._uf.find
+        balance = self._balance
+        tx_count = self._tx_count
+        first = self._first
+        last = self._last
         balance_deltas: dict[int, int] = {}
         for ident, change in delta.events:
             balance_deltas[ident] = balance_deltas.get(ident, 0) + change
@@ -432,6 +506,61 @@ class ClusterAggregateView(MaterializedView):
             if change:
                 balance[root] += change
         touched.update(involvement)
+
+    def _fold_churn(
+        self,
+        churn: list[tuple[int, np.ndarray, np.ndarray, np.ndarray]],
+        touched: set[int],
+    ) -> None:
+        """Batched per-address churn fold over one flush's queued blocks.
+
+        Pure numpy: the whole flush's event and involvement columns are
+        resolved to their post-merge roots in two
+        :meth:`~repro.core.union_find.IntUnionFind.find_many` batch
+        gathers, then scattered straight into the fold arrays' backing
+        stores — ``np.add.at`` for balance sums and incidence counts,
+        ``np.minimum.at`` / ``np.maximum.at`` for first/last-seen.  No
+        per-id Python loop survives.
+
+        Equivalence with the scalar per-block fold: balance is a sum
+        decomposition (merge folds preserve sums), tx_count likewise,
+        and first/last are min/max folds — the scalar "set first if
+        unseen" relies on heights arriving in increasing order, which
+        the min scatter reproduces without the ordering assumption (the
+        ``-1`` never-seen sentinel is swapped for +inf at the touched
+        roots first, and every touched root receives at least one real
+        height, so no sentinel survives).  Applying churn after this
+        flush's merge folds puts each contribution at its final root,
+        where sums/mins/maxes land identically.  ``touched`` collects
+        the resolved roots rather than the member ids — equivalent
+        downstream, which only reads ``touched`` through ``find``.
+        """
+        inv_ids = np.concatenate([block[3] for block in churn])
+        if not len(inv_ids):
+            return
+        inv_heights = np.concatenate(
+            [
+                np.full(len(block[3]), block[0], dtype=np.int64)
+                for block in churn
+            ]
+        )
+        event_ids = np.concatenate([block[1] for block in churn])
+        event_values = np.concatenate([block[2] for block in churn])
+        uf = self._uf
+        if len(event_ids):
+            np.add.at(
+                self._balance.array, uf.find_many(event_ids), event_values
+            )
+        inv_roots = uf.find_many(inv_ids)
+        np.add.at(self._tx_count.array, inv_roots, 1)
+        uniq_roots = np.unique(inv_roots)
+        first = self._first.array
+        unseen = first[uniq_roots]
+        unseen[unseen < 0] = np.iinfo(np.int64).max
+        first[uniq_roots] = unseen
+        np.minimum.at(first, inv_roots, inv_heights)
+        np.maximum.at(self._last.array, inv_roots, inv_heights)
+        touched.update(uniq_roots.tolist())
 
     def _build_overlay(
         self,
@@ -706,16 +835,21 @@ class ClusterAggregateView(MaterializedView):
         rebuilt on restore — exporting them would only create a second
         source of truth to keep consistent.  Queued blocks are flushed
         first, so an export always reflects the view's full height.
+
+        Version 2: the five fold arrays export as raw int64 bytes (one
+        buffer each); :meth:`from_state` still accepts the version-1
+        list shape.
         """
         self._flush()
         return {
+            "version": 2,
             "height": self._height,
             "uf": self._uf.export_state(),
-            "balance": list(self._balance),
-            "tx_count": list(self._tx_count),
-            "first_seen": list(self._first),
-            "last_seen": list(self._last),
-            "min_member": list(self._min_member),
+            "balance": self._balance.tobytes(),
+            "tx_count": self._tx_count.tobytes(),
+            "first_seen": self._first.tobytes(),
+            "last_seen": self._last.tobytes(),
+            "min_member": self._min_member.tobytes(),
         }
 
     @classmethod
@@ -726,22 +860,26 @@ class ClusterAggregateView(MaterializedView):
         *,
         engine: IncrementalClusteringEngine,
         follow: bool = True,
+        use_kernels: bool = True,
     ) -> "ClusterAggregateView":
         """Rebuild a view from :meth:`export_state` output, no catch-up.
 
         ``engine`` must be the restored engine at the same height — the
         open-label overlay is reconstructed from its live label state,
         so restored rankings are identical to the exporting view's.
+        Accepts both the version-2 bytes shape and the pre-columnar
+        version-1 list shape.
         """
         view = cls.__new__(cls)
         view.engine = engine
+        view._use_kernels = use_kernels
         view._uf = IntUnionFind.from_state(state["uf"])
         view._cursor = view._uf.merge_cursor()
-        view._balance = list(state["balance"])
-        view._tx_count = list(state["tx_count"])
-        view._first = list(state["first_seen"])
-        view._last = list(state["last_seen"])
-        view._min_member = list(state["min_member"])
+        view._balance = _fold_array(state["balance"])
+        view._tx_count = _fold_array(state["tx_count"])
+        view._first = _fold_array(state["first_seen"])
+        view._last = _fold_array(state["last_seen"])
+        view._min_member = _fold_array(state["min_member"])
         if engine.height != state["height"]:
             raise ValueError(
                 f"aggregate state is at height {state['height']} but the "

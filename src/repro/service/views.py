@@ -42,10 +42,18 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..analysis.taint import TaintResult, TaintTracker, taint_step
 from ..chain.delta import BlockDelta
 from ..chain.index import ChainIndex
 from ..chain.model import OutPoint
+from ..core.arrays import IntVector, as_int64
+
+
+def _frombytes(buffer: bytes) -> np.ndarray:
+    """Read-only int64 array over snapshot bytes (zero copy)."""
+    return np.frombuffer(buffer, dtype="<i8")
 
 
 class MaterializedView:
@@ -114,13 +122,27 @@ class BalanceView(MaterializedView):
     ``BalanceAnalyzer(..., view=...)``).  Point queries
     (:meth:`balance_of`, :meth:`cluster_balances`) read the dense
     balance array directly.
+
+    The fold is kernelized by default: one ``np.add.at`` scatter of the
+    delta's columnar event buffers into an :class:`IntVector` grown once
+    per block from ``max_id``.  ``use_kernels=False`` selects the scalar
+    per-event reference loop (same state, same answers — pinned by
+    ``tests/service/test_fold_kernels.py``).
     """
 
-    def __init__(self, index: ChainIndex, *, follow: bool = True) -> None:
-        self._balances: list[int] = []
+    def __init__(
+        self,
+        index: ChainIndex,
+        *,
+        follow: bool = True,
+        use_kernels: bool = True,
+    ) -> None:
+        self._use_kernels = use_kernels
+        self._balances = IntVector()
         """Current balance per interned address id."""
-        self._events: list[list[tuple[int, int]]] = []
-        """Per height: ``(address id, signed delta)`` in fold order."""
+        self._events: list[tuple[np.ndarray, np.ndarray]] = []
+        """Per height: the delta's columnar ``(ids, signed deltas)``
+        event buffers, retained by reference — no per-block copy."""
         self._coinbase: list[int] = []
         """Coins issued at each height."""
         self._supply: list[int] = []
@@ -129,15 +151,17 @@ class BalanceView(MaterializedView):
 
     def _apply_delta(self, delta: BlockDelta) -> None:
         # The delta pre-flattened the block's debits and credits into
-        # the exact per-height event log this view keeps — folding is
-        # one pass over ``(address id, signed delta)`` pairs.
+        # the exact per-height event log this view keeps.  Every event
+        # id is ≤ max_id, so one grow per block covers the whole fold.
         balances = self._balances
-        events = list(delta.events)
-        for ident, change in events:
-            if ident >= len(balances):
-                balances.extend([0] * (ident + 1 - len(balances)))
-            balances[ident] += change
-        self._events.append(events)
+        if delta.max_id >= len(balances):
+            balances.grow_to(delta.max_id + 1)
+        if self._use_kernels:
+            np.add.at(balances.array, delta.event_ids, delta.event_values)
+        else:
+            for ident, change in delta.events:
+                balances[ident] += change
+        self._events.append((delta.event_ids, delta.event_values))
         self._coinbase.append(delta.minted)
         self._supply.append(
             (self._supply[-1] if self._supply else 0) + delta.minted
@@ -146,25 +170,57 @@ class BalanceView(MaterializedView):
     # -- durable state -------------------------------------------------
 
     def export_state(self) -> dict:
-        """Plain-data state: balances, the event log, and issuance."""
+        """Plain-data state: balances, the event log, and issuance.
+
+        Version 2: the balance array and the per-height event columns
+        export as raw int64 bytes — one buffer copy each, instead of the
+        old O(events) Python list-of-lists rebuild per snapshot.
+        """
         return {
+            "version": 2,
             "height": self._height,
-            "balances": list(self._balances),
-            "events": [list(events) for events in self._events],
+            "balances": self._balances.tobytes(),
+            "events_ids": [ids.tobytes() for ids, _values in self._events],
+            "events_values": [
+                values.tobytes() for _ids, values in self._events
+            ],
             "coinbase": list(self._coinbase),
             "supply": list(self._supply),
         }
 
     @classmethod
     def from_state(
-        cls, index: ChainIndex, state: dict, *, follow: bool = True
+        cls,
+        index: ChainIndex,
+        state: dict,
+        *,
+        follow: bool = True,
+        use_kernels: bool = True,
     ) -> "BalanceView":
-        """Rebuild a view from :meth:`export_state` output, no catch-up."""
+        """Rebuild a view from :meth:`export_state` output, no catch-up.
+
+        Accepts both the version-2 bytes shape and the pre-columnar
+        version-1 list shape, so old snapshots stay restorable.
+        """
         view = cls.__new__(cls)
-        view._balances = list(state["balances"])
-        view._events = [
-            [tuple(event) for event in events] for events in state["events"]
-        ]
+        view._use_kernels = use_kernels
+        if state.get("version", 1) >= 2:
+            view._balances = IntVector.from_bytes(state["balances"])
+            view._events = [
+                (_frombytes(ids), _frombytes(values))
+                for ids, values in zip(
+                    state["events_ids"], state["events_values"]
+                )
+            ]
+        else:
+            view._balances = IntVector.from_list(state["balances"])
+            view._events = [
+                (
+                    as_int64([event[0] for event in events]),
+                    as_int64([event[1] for event in events]),
+                )
+                for events in state["events"]
+            ]
         view._coinbase = list(state["coinbase"])
         view._supply = list(state["supply"])
         view._adopt(index, state["height"], follow)
@@ -197,8 +253,9 @@ class BalanceView(MaterializedView):
         return self._coinbase[height]
 
     def events_at(self, height: int) -> list[tuple[int, int]]:
-        """The ``(address id, delta)`` log for one height."""
-        return self._events[height]
+        """The ``(address id, delta)`` log for one height (Python ints)."""
+        ids, values = self._events[height]
+        return list(zip(ids.tolist(), values.tolist()))
 
     def cluster_balances(self, partition) -> dict[int, int]:
         """``cluster root -> summed member balance`` in one array pass.
@@ -210,9 +267,11 @@ class BalanceView(MaterializedView):
         """
         find_root = partition.find_root
         out: dict[int, int] = {}
-        for ident, balance in enumerate(self._balances):
-            if not balance:
-                continue
+        balances = self._balances.array
+        nonzero = np.nonzero(balances)[0]
+        for ident, balance in zip(
+            nonzero.tolist(), balances[nonzero].tolist()
+        ):
             root = find_root(ident)
             if root is None:
                 continue
@@ -436,12 +495,24 @@ class ActivityView(MaterializedView):
     read here without allocating a per-tx set.  Per-cluster rollups
     (:meth:`cluster_activity`) feed the service's ``top_clusters`` /
     ``cluster_profile`` queries.
+
+    Kernelized by default: incidence is one ``np.add.at`` scatter of
+    the delta's flat per-tx involvement multiset, first/last-seen one
+    masked assignment over the block's deduplicated ids.
+    ``use_kernels=False`` selects the scalar per-id reference loop.
     """
 
-    def __init__(self, index: ChainIndex, *, follow: bool = True) -> None:
-        self._tx_counts: list[int] = []
-        self._first_seen: list[int] = []
-        self._last_seen: list[int] = []
+    def __init__(
+        self,
+        index: ChainIndex,
+        *,
+        follow: bool = True,
+        use_kernels: bool = True,
+    ) -> None:
+        self._use_kernels = use_kernels
+        self._tx_counts = IntVector()
+        self._first_seen = IntVector()
+        self._last_seen = IntVector()
         super().__init__(index, follow=follow)
 
     def _apply_delta(self, delta: BlockDelta) -> None:
@@ -450,37 +521,67 @@ class ActivityView(MaterializedView):
         first = self._first_seen
         last = self._last_seen
         if delta.max_id >= len(counts):
-            grow = delta.max_id + 1 - len(counts)
-            counts.extend([0] * grow)
-            first.extend([-1] * grow)
-            last.extend([-1] * grow)
-        for txd in delta.txs:
-            for ident in txd.involved:
-                counts[ident] += 1
-                if first[ident] < 0:
-                    first[ident] = height
-                last[ident] = height
+            n = delta.max_id + 1
+            counts.grow_to(n)
+            first.grow_to(n, fill=-1)
+            last.grow_to(n, fill=-1)
+        if self._use_kernels:
+            # involved_flat repeats an id once per involving tx — the
+            # incidence multiset — while first/last touch each involved
+            # id once off the deduplicated column.
+            np.add.at(counts.array, delta.involved_flat, 1)
+            ids = delta.involved_ids
+            first_arr = first.array
+            seen = first_arr[ids]
+            first_arr[ids] = np.where(seen < 0, height, seen)
+            last.array[ids] = height
+        else:
+            for txd in delta.txs:
+                for ident in txd.involved:
+                    counts[ident] += 1
+                    if first[ident] < 0:
+                        first[ident] = height
+                    last[ident] = height
 
     # -- durable state -------------------------------------------------
 
     def export_state(self) -> dict:
-        """Plain-data state: the three dense per-id arrays."""
+        """Plain-data state: the three dense per-id arrays.
+
+        Version 2: raw int64 bytes per array (one buffer copy each).
+        """
         return {
+            "version": 2,
             "height": self._height,
-            "tx_counts": list(self._tx_counts),
-            "first_seen": list(self._first_seen),
-            "last_seen": list(self._last_seen),
+            "tx_counts": self._tx_counts.tobytes(),
+            "first_seen": self._first_seen.tobytes(),
+            "last_seen": self._last_seen.tobytes(),
         }
 
     @classmethod
     def from_state(
-        cls, index: ChainIndex, state: dict, *, follow: bool = True
+        cls,
+        index: ChainIndex,
+        state: dict,
+        *,
+        follow: bool = True,
+        use_kernels: bool = True,
     ) -> "ActivityView":
-        """Rebuild a view from :meth:`export_state` output, no catch-up."""
+        """Rebuild a view from :meth:`export_state` output, no catch-up.
+
+        Accepts both the version-2 bytes shape and the pre-columnar
+        version-1 list shape, so old snapshots stay restorable.
+        """
         view = cls.__new__(cls)
-        view._tx_counts = list(state["tx_counts"])
-        view._first_seen = list(state["first_seen"])
-        view._last_seen = list(state["last_seen"])
+        view._use_kernels = use_kernels
+        if state.get("version", 1) >= 2:
+            view._tx_counts = IntVector.from_bytes(state["tx_counts"])
+            view._first_seen = IntVector.from_bytes(state["first_seen"])
+            view._last_seen = IntVector.from_bytes(state["last_seen"])
+        else:
+            view._tx_counts = IntVector.from_list(state["tx_counts"])
+            view._first_seen = IntVector.from_list(state["first_seen"])
+            view._last_seen = IntVector.from_list(state["last_seen"])
         view._adopt(index, state["height"], follow)
         return view
 
@@ -504,17 +605,22 @@ class ActivityView(MaterializedView):
         counts: dict[int, int] = {}
         first: dict[int, int] = {}
         last: dict[int, int] = {}
-        for ident, count in enumerate(self._tx_counts):
-            if not count:
-                continue
+        count_arr = self._tx_counts.array
+        first_arr = self._first_seen.array
+        last_arr = self._last_seen.array
+        nonzero = np.nonzero(count_arr)[0]
+        for ident, count, seen_first, seen_last in zip(
+            nonzero.tolist(),
+            count_arr[nonzero].tolist(),
+            first_arr[nonzero].tolist(),
+            last_arr[nonzero].tolist(),
+        ):
             root = find_root(ident)
             if root is None:
                 continue
             counts[root] = counts.get(root, 0) + count
-            seen_first = self._first_seen[ident]
             if root not in first or seen_first < first[root]:
                 first[root] = seen_first
-            seen_last = self._last_seen[ident]
             if root not in last or seen_last > last[root]:
                 last[root] = seen_last
         return {

@@ -20,6 +20,7 @@ from .builder import (
 )
 from .economy import ChangeRecord, Economy, World, finish
 from .ground_truth import EntityInfo, GroundTruth
+from .largescale import large_scale_blocks
 from .params import (
     BANK_EXCHANGES,
     DICE_GAMES,
@@ -70,6 +71,7 @@ __all__ = [
     "World",
     "build_payment",
     "build_sweep",
+    "large_scale_blocks",
     "choose_change_kind",
     "finish",
     "scenarios",

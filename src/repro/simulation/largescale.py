@@ -1,0 +1,167 @@
+"""Large-scale synthetic chains: millions of addresses, cheap to mint.
+
+The actor-model :class:`~repro.simulation.economy.Economy` earns its
+keep at seed scale (600 blocks / ~12k addresses): every address is
+ground-truth registered, every payment runs through wallet policies.
+That bookkeeping is exactly what makes it too slow to mint the chains
+the paper actually analyzed — tens of thousands of blocks, >500k
+addresses — which is what the scale benchmarks need to measure the
+fold kernels' asymptotics rather than their constant.
+
+:func:`large_scale_blocks` skips the actors entirely.  It emits raw
+:class:`~repro.chain.model.Block` objects with synthetic pay-to-pubkey-
+hash scripts built straight from a 20-byte counter — no key generation,
+no base58 (``TxOut.address`` resolves lazily, and the index never asks
+until a query does), no ground truth.  The shape still exercises every
+fold the kernels cover:
+
+* every transaction spends **two** previously unspent outputs drawn
+  pseudo-randomly from earlier blocks, so H1 has a co-spend pair per tx
+  and the cluster graph keeps merging across the whole run;
+* most outputs pay **fresh** addresses (the paper's one-time change
+  idiom), a fraction re-pays a recently seen address, so incidence and
+  first/last-seen folds see both branches;
+* timestamps advance one fixed interval per block, keeping the engine's
+  §4.2 wait-rule path (non-decreasing time) valid.
+
+Validation is the index's real validation — double-spend and
+missing-input checks pass because the UTXO pool only hands out unspent
+outputs from *earlier* blocks.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from ..chain.model import (
+    Block,
+    OutPoint,
+    Transaction,
+    TxIn,
+    TxOut,
+    COIN,
+)
+
+GENESIS_TIME = 1_293_840_000
+"""2011-01-01, matching the test-suite convention."""
+
+BLOCK_INTERVAL = 600
+
+_COINBASE_VALUE = 50 * COIN
+_DUMMY_SIG = b"\x01\xaa\x01\xbb"
+
+
+def _script_for(counter: int) -> bytes:
+    """A structurally valid P2PKH script for synthetic address ``counter``.
+
+    The 20-byte hash is just the counter — unique, orderly, and free.
+    ``extract_address`` base58-encodes it lazily if anything ever asks.
+    """
+    return b"\x76\xa9\x14" + counter.to_bytes(20, "big") + b"\x88\xac"
+
+
+def large_scale_blocks(
+    n_blocks: int,
+    *,
+    txs_per_block: int = 8,
+    outputs_per_tx: int = 5,
+    reuse_probability: float = 0.2,
+    seed: int = 0,
+) -> Iterator[Block]:
+    """Yield ``n_blocks`` valid blocks of a synthetic high-volume chain.
+
+    Each non-coinbase transaction spends two unspent outputs of earlier
+    blocks and produces ``outputs_per_tx`` outputs, mostly to fresh
+    addresses.  With the defaults a block mints ``2 + 8*4 = 34`` fresh
+    addresses, so 20k blocks intern ~680k addresses and carry ~1.4M
+    balance events — the scale band the paper's chain analysis ran at.
+
+    Deterministic in ``seed``; streams (never holds more than the UTXO
+    pool in memory).
+    """
+    rng = random.Random(seed)
+    fresh_counter = 0
+    # The spendable pool: (outpoint, value, script) of outputs minted in
+    # *earlier* blocks only — spending within the minting block would
+    # need in-block ordering care for no benefit to the fold shape.
+    pool: list[tuple[OutPoint, int, bytes]] = []
+    prev_hash = b"\x00" * 32
+    for height in range(n_blocks):
+        minted: list[tuple[OutPoint, int, bytes]] = []
+        recent_scripts: list[bytes] = []
+        txs: list[Transaction] = []
+
+        coinbase_outs = []
+        for _ in range(2):
+            script = _script_for(fresh_counter)
+            fresh_counter += 1
+            coinbase_outs.append(
+                TxOut(value=_COINBASE_VALUE // 2, script_pubkey=script)
+            )
+            recent_scripts.append(script)
+        coinbase = Transaction(
+            inputs=(
+                TxIn(
+                    prevout=OutPoint(b"\x00" * 32, 0xFFFFFFFF),
+                    script_sig=height.to_bytes(4, "little"),
+                ),
+            ),
+            outputs=tuple(coinbase_outs),
+        )
+        txs.append(coinbase)
+        for vout, out in enumerate(coinbase.outputs):
+            minted.append(
+                (OutPoint(coinbase.txid, vout), out.value, out.script_pubkey)
+            )
+
+        n_txs = min(txs_per_block, len(pool) // 2)
+        for _ in range(n_txs):
+            sources = []
+            for _ in range(2):
+                # Swap-pop keeps the draw O(1) and the pool unordered.
+                pick = rng.randrange(len(pool))
+                pool[pick], pool[-1] = pool[-1], pool[pick]
+                sources.append(pool.pop())
+            total_in = sources[0][1] + sources[1][1]
+            outs: list[TxOut] = []
+            share = total_in // outputs_per_tx
+            for slot in range(outputs_per_tx):
+                if slot == 0 and rng.random() < reuse_probability and (
+                    recent_scripts
+                ):
+                    script = recent_scripts[
+                        rng.randrange(len(recent_scripts))
+                    ]
+                else:
+                    script = _script_for(fresh_counter)
+                    fresh_counter += 1
+                    recent_scripts.append(script)
+                value = (
+                    share
+                    if slot < outputs_per_tx - 1
+                    else total_in - share * (outputs_per_tx - 1)
+                )
+                outs.append(TxOut(value=value, script_pubkey=script))
+            tx = Transaction(
+                inputs=tuple(
+                    TxIn(prevout=point, script_sig=_DUMMY_SIG)
+                    for point, _value, _script in sources
+                ),
+                outputs=tuple(outs),
+            )
+            txs.append(tx)
+            for vout, out in enumerate(tx.outputs):
+                minted.append(
+                    (OutPoint(tx.txid, vout), out.value, out.script_pubkey)
+                )
+
+        block = Block.assemble(
+            height=height,
+            prev_hash=prev_hash,
+            timestamp=GENESIS_TIME + height * BLOCK_INTERVAL,
+            transactions=tuple(txs),
+        )
+        prev_hash = block.hash
+        pool.extend(minted)
+        yield block

@@ -26,10 +26,17 @@ from .errors import SnapshotIntegrityError
 
 MANIFEST_NAME = "MANIFEST.json"
 MANIFEST_FORMAT = "repro-state-snapshot"
-MANIFEST_VERSION = 2
+MANIFEST_VERSION = 3
 """Snapshot layout version.  2 added the ``aggregates`` segment (the
 differential cluster-aggregate view) and the engine's settled-label
-field; version-1 snapshots are rejected rather than part-restored."""
+field; version-1 snapshots are rejected rather than part-restored.
+3 switched the dense per-id view/engine arrays to raw int64 bytes
+buffers inside the segments — the component ``from_state`` readers
+accept both shapes, so version-2 snapshots stay restorable
+(:data:`SUPPORTED_VERSIONS`)."""
+
+SUPPORTED_VERSIONS = frozenset({2, MANIFEST_VERSION})
+"""Manifest versions :func:`read_manifest` accepts."""
 
 
 @dataclass(frozen=True)
@@ -87,7 +94,7 @@ def read_manifest(directory: str | os.PathLike[str]) -> SnapshotManifest:
         raise bad(f"unreadable ({exc})") from exc
     if raw.get("format") != MANIFEST_FORMAT:
         raise bad(f"unknown format {raw.get('format')!r}")
-    if raw.get("format_version") != MANIFEST_VERSION:
+    if raw.get("format_version") not in SUPPORTED_VERSIONS:
         raise bad(f"unsupported format version {raw.get('format_version')!r}")
     try:
         return SnapshotManifest(

@@ -218,6 +218,68 @@ class TestDeltaEqualsTransactionWalk:
             )
 
 
+class TestColumnarMirrors:
+    """The delta's typed int64 columns are exact mirrors of its tuple
+    views — the kernels scatter from the columns, the scalar reference
+    paths iterate the tuples, and both must see the same facts."""
+
+    @settings(deadline=None, max_examples=25)
+    @given(
+        seed=st.integers(min_value=0, max_value=10 ** 6),
+        n_blocks=st.integers(min_value=4, max_value=20),
+        n_users=st.integers(min_value=3, max_value=8),
+    )
+    def test_columns_mirror_tuple_views(self, seed, n_blocks, n_users):
+        world = scenarios.micro_economy(
+            seed=seed, n_blocks=n_blocks, n_users=n_users
+        )
+        target = ChainIndex()
+        deltas = []
+        target.subscribe_deltas(deltas.append)
+        for block in world.blocks:
+            target.add_block(block)
+        for delta in deltas:
+            # Event columns zip back to the tuple event log.
+            assert (
+                list(
+                    zip(
+                        delta.event_ids.tolist(),
+                        delta.event_values.tolist(),
+                    )
+                )
+                == list(delta.events)
+            )
+            # Block-level dedup column == the involved tuple.
+            assert tuple(delta.involved_ids.tolist()) == delta.involved
+            # Flat involvement multiset == the per-tx concatenation.
+            flat = [
+                ident for txd in delta.txs for ident in txd.involved
+            ]
+            assert delta.involved_flat.tolist() == flat
+            # Co-spend pair columns == one (first, k-th) pair per extra
+            # input id of every non-coinbase transaction, in tx order.
+            pairs = []
+            for txd in delta.txs:
+                if not txd.is_coinbase and len(txd.input_ids) > 1:
+                    anchor = txd.input_ids[0]
+                    pairs.extend(
+                        (anchor, other) for other in txd.input_ids[1:]
+                    )
+            assert (
+                list(zip(delta.h1_a.tolist(), delta.h1_b.tolist())) == pairs
+            )
+            # The columns are shared read-only across the fan-out.
+            for column in (
+                delta.event_ids,
+                delta.event_values,
+                delta.involved_ids,
+                delta.involved_flat,
+                delta.h1_a,
+                delta.h1_b,
+            ):
+                assert not column.flags.writeable
+
+
 SUBSCRIBER_MODULES = [
     "core/incremental.py",
     "service/views.py",

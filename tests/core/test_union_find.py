@@ -1,5 +1,6 @@
 """Union-find unit + property tests (generic and array-backed)."""
 
+import numpy as np
 from hypothesis import given, strategies as st
 
 from repro.core.union_find import IntUnionFind, UnionFind
@@ -244,6 +245,102 @@ class TestIntProperties:
         for token, expected in zip(reversed(tokens), reversed(snapshots)):
             uf.rollback(token)
             assert uf.component_sizes() == expected
+
+
+class TestBulkKernels:
+    """Pair-mode ``union_many`` and ``find_many``: the batch entry
+    points must be observably identical to their scalar loops —
+    including the merge log, which downstream fold consumers drain."""
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 25), st.integers(0, 25)), max_size=60
+        )
+    )
+    def test_pair_mode_matches_sequential_union_loop(self, pairs):
+        sequential = IntUnionFind(26)
+        bulk = IntUnionFind(26)
+        for a, b in pairs:
+            sequential.union(a, b)
+        ids_a = np.asarray([a for a, _ in pairs], dtype="<i8")
+        ids_b = np.asarray([b for _, b in pairs], dtype="<i8")
+        assert bulk.union_many(ids_a, ids_b) is None
+        token = sequential.checkpoint()
+        assert bulk.log_prefix(bulk.checkpoint()) == sequential.log_prefix(
+            token
+        )
+        assert bulk.component_count == sequential.component_count
+        assert bulk.component_sizes() == sequential.component_sizes()
+        for i in range(26):
+            assert bulk.find(i) == sequential.find(i)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 20), st.integers(0, 20)), max_size=30
+        ),
+        st.lists(
+            st.tuples(st.integers(0, 20), st.integers(0, 20)), max_size=30
+        ),
+    )
+    def test_pair_mode_rollback_is_exact(self, prefix, batch):
+        uf = IntUnionFind(21)
+        for a, b in prefix:
+            uf.union(a, b)
+        before = uf.component_sizes()
+        log_before = uf.log_prefix(uf.checkpoint())
+        token = uf.checkpoint()
+        uf.union_many(
+            np.asarray([a for a, _ in batch], dtype="<i8"),
+            np.asarray([b for _, b in batch], dtype="<i8"),
+        )
+        uf.rollback(token)
+        assert uf.component_sizes() == before
+        assert uf.log_prefix(uf.checkpoint()) == log_before
+
+    def test_pair_mode_rejects_misaligned_columns(self):
+        uf = IntUnionFind(4)
+        try:
+            uf.union_many(np.asarray([0, 1]), np.asarray([2]))
+        except ValueError as err:
+            assert "misaligned" in str(err)
+        else:
+            raise AssertionError("misaligned pair columns were accepted")
+
+    def test_pair_mode_log_entries_are_plain_ints(self):
+        """np.int64 must never leak into the merge log: entries become
+        dict keys and query outputs in fold consumers."""
+        uf = IntUnionFind(6)
+        uf.union_many(
+            np.asarray([0, 2, 0], dtype="<i8"),
+            np.asarray([1, 3, 3], dtype="<i8"),
+        )
+        for absorbed, kept in uf.log_prefix(uf.checkpoint()):
+            assert type(absorbed) is int and type(kept) is int
+        assert type(uf.find(0)) is int
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 40), st.integers(0, 40)), max_size=80
+        )
+    )
+    def test_find_many_matches_scalar_find(self, unions):
+        uf = IntUnionFind(41)
+        for a, b in unions:
+            uf.union(a, b)
+        every_id = np.arange(41, dtype="<i8")
+        roots = uf.find_many(every_id)
+        assert roots.tolist() == [uf.find(i) for i in range(41)]
+        # Read-only: resolving roots must not mutate the structure
+        # (no path compression), so a second resolution agrees.
+        assert uf.find_many(every_id).tolist() == roots.tolist()
+
+    def test_find_many_empty_and_fresh_result(self):
+        uf = IntUnionFind(3)
+        assert uf.find_many(np.empty(0, dtype="<i8")).tolist() == []
+        ids = np.asarray([0, 1, 2], dtype="<i8")
+        roots = uf.find_many(ids)
+        roots += 1  # returned array is fresh: caller may scribble on it
+        assert uf.find(0) == 0
 
 
 class TestMergeCursors:

@@ -1,0 +1,194 @@
+"""Array-backed durable state: bytes round-trips and legacy shapes.
+
+The version-3 snapshot layout stores every dense per-id array as one
+raw little-endian int64 buffer.  Three contracts are pinned here:
+
+* **byte-equal round trip** — ``export_state`` → ``from_state`` →
+  ``export_state`` reproduces the original payload bit for bit, for
+  every array-backed component (union-find, balance/activity views,
+  cluster aggregates);
+* **legacy shapes restore** — the pre-columnar version-1/2 state dicts
+  (plain Python lists, no ``version`` key) are still accepted by every
+  ``from_state``, and restore to the same observable state;
+* **manifest gate** — version-2 manifests stay readable alongside the
+  current version 3; anything else fails closed.
+"""
+
+import json
+
+import pytest
+
+from repro.chain.index import ChainIndex
+from repro.core.incremental import IncrementalClusteringEngine
+from repro.core.union_find import IntUnionFind
+from repro.service.aggregates import ClusterAggregateView, TOP_CLUSTER_METRICS
+from repro.service.views import ActivityView, BalanceView
+from repro.simulation import large_scale_blocks
+from repro.storage.errors import SnapshotIntegrityError
+from repro.storage.manifest import (
+    MANIFEST_NAME,
+    MANIFEST_VERSION,
+    SUPPORTED_VERSIONS,
+    read_manifest,
+)
+
+
+@pytest.fixture(scope="module")
+def streamed():
+    """One small high-merge chain streamed into every fold consumer."""
+    index = ChainIndex()
+    engine = IncrementalClusteringEngine(index)
+    balances = BalanceView(index)
+    activity = ActivityView(index)
+    aggregates = ClusterAggregateView(index, engine=engine)
+    for block in large_scale_blocks(30, seed=7):
+        index.add_block(block)
+    assert aggregates.cluster_count > 0  # force the flush
+    return index, engine, balances, activity, aggregates
+
+
+class TestByteEqualRoundTrip:
+    def test_union_find(self, streamed):
+        _index, engine, *_ = streamed
+        state = engine._uf.export_state()
+        assert isinstance(state["parent"], bytes)
+        restored = IntUnionFind.from_state(state)
+        assert restored.export_state() == state
+        assert restored.component_sizes() == engine._uf.component_sizes()
+
+    def test_balance_view(self, streamed):
+        index, _engine, balances, *_ = streamed
+        state = balances.export_state()
+        assert state["version"] == 2
+        assert isinstance(state["balances"], bytes)
+        restored = BalanceView.from_state(index, state, follow=False)
+        assert restored.export_state() == state
+
+    def test_activity_view(self, streamed):
+        index, _engine, _balances, activity, _aggregates = streamed
+        state = activity.export_state()
+        assert isinstance(state["tx_counts"], bytes)
+        restored = ActivityView.from_state(index, state, follow=False)
+        assert restored.export_state() == state
+
+    def test_aggregate_view(self, streamed):
+        index, engine, _balances, _activity, aggregates = streamed
+        state = aggregates.export_state()
+        assert isinstance(state["balance"], bytes)
+        restored = ClusterAggregateView.from_state(
+            index, state, engine=engine, follow=False
+        )
+        assert restored.export_state() == state
+        for metric in TOP_CLUSTER_METRICS:
+            assert restored.ranking(metric) == aggregates.ranking(metric)
+
+
+class TestLegacyShapesRestore:
+    """Version-1/2 snapshots carried Python lists; they must restore to
+    the same observable state the bytes shape does."""
+
+    def test_union_find_list_state(self, streamed):
+        _index, engine, *_ = streamed
+        uf = engine._uf
+        legacy = {
+            "parent": [uf._parent[i] for i in range(len(uf))],
+            "size": [uf._size[i] for i in range(len(uf))],
+            "components": uf.component_count,
+            "log": [list(entry) for entry in uf.log_prefix(uf.checkpoint())],
+        }
+        restored = IntUnionFind.from_state(legacy)
+        assert restored.component_sizes() == uf.component_sizes()
+        assert restored.export_state() == uf.export_state()
+
+    def test_union_find_rejects_misaligned_lists(self):
+        with pytest.raises(ValueError):
+            IntUnionFind.from_state(
+                {"parent": [0, 1], "size": [1], "components": 2, "log": []}
+            )
+
+    def test_balance_view_v1_state(self, streamed):
+        index, _engine, balances, *_ = streamed
+        v1 = {
+            "height": balances.height,
+            "balances": balances._balances.tolist(),
+            "events": [
+                balances.events_at(h) for h in range(balances.height + 1)
+            ],
+            "coinbase": [
+                balances.coinbase_at(h) for h in range(balances.height + 1)
+            ],
+            "supply": [
+                balances.supply_at(h) for h in range(balances.height + 1)
+            ],
+        }
+        restored = BalanceView.from_state(index, v1, follow=False)
+        assert restored.export_state() == balances.export_state()
+
+    def test_activity_view_v1_state(self, streamed):
+        index, _engine, _balances, activity, _aggregates = streamed
+        v1 = {
+            "height": activity.height,
+            "tx_counts": activity._tx_counts.tolist(),
+            "first_seen": activity._first_seen.tolist(),
+            "last_seen": activity._last_seen.tolist(),
+        }
+        restored = ActivityView.from_state(index, v1, follow=False)
+        assert restored.export_state() == activity.export_state()
+
+    def test_aggregate_view_v1_state(self, streamed):
+        index, engine, _balances, _activity, aggregates = streamed
+        uf = aggregates._uf
+        v1 = {
+            "height": aggregates.height,
+            "uf": {
+                "parent": [uf._parent[i] for i in range(len(uf))],
+                "size": [uf._size[i] for i in range(len(uf))],
+                "components": uf.component_count,
+                "log": [
+                    list(entry) for entry in uf.log_prefix(uf.checkpoint())
+                ],
+            },
+            "balance": aggregates._balance.tolist(),
+            "tx_count": aggregates._tx_count.tolist(),
+            "first_seen": aggregates._first.tolist(),
+            "last_seen": aggregates._last.tolist(),
+            "min_member": aggregates._min_member.tolist(),
+        }
+        restored = ClusterAggregateView.from_state(
+            index, v1, engine=engine, follow=False
+        )
+        assert restored.export_state() == aggregates.export_state()
+
+
+class TestManifestVersionGate:
+    def test_current_and_previous_versions_supported(self):
+        assert MANIFEST_VERSION == 3
+        assert SUPPORTED_VERSIONS == {2, 3}
+
+    def _snapshot_dir(self, tmp_path):
+        from repro.service import ForensicsService
+        from repro.storage import StateStore
+
+        index = ChainIndex()
+        service = ForensicsService(index, tags=None)
+        for block in large_scale_blocks(4, seed=1):
+            index.add_block(block)
+        store = StateStore(tmp_path / "snapshots")
+        return store.snapshot(service)
+
+    def _rewrite_version(self, directory, version):
+        path = directory / MANIFEST_NAME
+        raw = json.loads(path.read_text())
+        raw["format_version"] = version
+        path.write_text(json.dumps(raw))
+
+    def test_version_2_manifest_still_reads(self, tmp_path):
+        directory = self._snapshot_dir(tmp_path)
+        self._rewrite_version(directory, 2)
+        assert read_manifest(directory).format_version == 2
+
+    def test_unknown_version_fails_closed(self, tmp_path):
+        directory = self._snapshot_dir(tmp_path)
+        self._rewrite_version(directory, 99)
+        with pytest.raises(SnapshotIntegrityError):
+            read_manifest(directory)
