@@ -43,8 +43,10 @@ from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Callable, Iterable, Iterator
 
+from ..obs import NULL_REGISTRY
 from .delta import BlockDelta, build_block_delta
 from .errors import (
     DoubleSpendError,
@@ -166,10 +168,16 @@ class ChainIndex:
         # (which, on a snapshot-restored index, would materialize
         # historic blocks and defeat the lazy restore).
         self._input_spends: dict[bytes, tuple[tuple[int, int], ...]] = {}
-        self._observers: list[Callable[[BlockDelta], None]] = []
-        """Delta-shaped observers, in registration order.  Block-shaped
-        callbacks registered through the :meth:`subscribe` shim sit here
-        wrapped in an adapter."""
+        self._observers: list[tuple[Callable[[BlockDelta], None], str]] = []
+        """``(observer, name)`` pairs in registration order.  Names key
+        the per-subscriber fan-out metrics; block-shaped callbacks
+        registered through the :meth:`subscribe` shim sit here wrapped
+        in an adapter."""
+        self.metrics = NULL_REGISTRY
+        """Telemetry sink (:class:`~repro.obs.metrics.MetricsRegistry`).
+        Defaults to the shared disabled registry — assign an enabled one
+        to record per-stage ingest timings (``ingest.*``) and per-block
+        flight spans; see ``docs/metrics.md``."""
         self._timestamps: list[int] = []
         # Lazy backing for a snapshot-restored index; all None/absent in a
         # live-built one.  `_blocks` / `_records_by_id` hold None at not-
@@ -198,14 +206,36 @@ class ChainIndex:
                 f"blocks must be added in order: expected height {expected}, "
                 f"got {block.height}"
             )
+        metrics = self.metrics
+        timed = metrics.enabled
+        if timed:
+            start = perf_counter()
         for i, tx in enumerate(block.transactions):
             self._add_tx(tx, block, i)
         self._blocks.append(block)
         self._timestamps.append(block.header.timestamp)
+        if timed:
+            now = perf_counter()
+            metrics.histogram("ingest.index_seconds").observe(now - start)
         if self._raw_blocks is not None:
             self._raw_blocks.append(None)  # serialized on demand at export
         if self._observers:
-            self._notify_observers(build_block_delta(self, block))
+            if timed:
+                start = perf_counter()
+            delta = build_block_delta(self, block)
+            if timed:
+                now = perf_counter()
+                metrics.histogram("ingest.delta_build_seconds").observe(
+                    now - start
+                )
+            self._notify_observers(delta)
+            if timed:
+                metrics.flight.record(
+                    "block",
+                    height=block.height,
+                    txs=len(block.transactions),
+                    seconds=perf_counter() - start,
+                )
 
     def block_delta(self, height: int) -> BlockDelta:
         """The shared ingest plan for one already-ingested block.
@@ -228,14 +258,35 @@ class ChainIndex:
         deliver this block (late subscribers start at the *next* block).
         A raising observer does not starve the ones after it: every
         observer is notified before the first exception propagates to the
-        ``add_block`` caller.
+        ``add_block`` caller — and *every* failure (not just the first)
+        is counted per subscriber and retained in the flight recorder,
+        so a flaky later subscriber stays visible even though only the
+        first exception is raised (the rest ride along as notes).
         """
         errors: list[BaseException] = []
-        for observer in tuple(self._observers):
+        metrics = self.metrics
+        timed = metrics.enabled
+        for observer, name in tuple(self._observers):
+            if timed:
+                start = perf_counter()
             try:
                 observer(delta)
             except Exception as exc:  # noqa: BLE001 — isolate per observer
                 errors.append(exc)
+                if timed:
+                    metrics.counter(
+                        "ingest.subscriber_errors", subscriber=name
+                    ).inc()
+                    metrics.flight.record(
+                        "subscriber_error",
+                        height=delta.height,
+                        subscriber=name,
+                        error=repr(exc),
+                    )
+            if timed:
+                metrics.histogram(
+                    "ingest.fanout_seconds", subscriber=name
+                ).observe(perf_counter() - start)
         if errors:
             first = errors[0]
             for later in errors[1:]:
@@ -246,7 +297,10 @@ class ChainIndex:
             raise first
 
     def subscribe_deltas(
-        self, observer: Callable[[BlockDelta], None]
+        self,
+        observer: Callable[[BlockDelta], None],
+        *,
+        name: str | None = None,
     ) -> Callable[[], None]:
         """Register a per-block delta observer; returns an unsubscribe
         callable.
@@ -259,16 +313,28 @@ class ChainIndex:
         materialized views stream from; see :meth:`_notify_observers`
         for the fan-out contract under mid-callback (un)subscription and
         observer exceptions.
+
+        ``name`` labels the subscriber in the per-subscriber fan-out
+        metrics and error spans (``ingest.fanout_seconds{subscriber=…}``);
+        it defaults to the callable's qualified name.
         """
-        self._observers.append(observer)
+        if name is None:
+            name = getattr(observer, "__qualname__", None) or repr(observer)
+        entry = (observer, name)
+        self._observers.append(entry)
 
         def unsubscribe() -> None:
-            if observer in self._observers:
-                self._observers.remove(observer)
+            if entry in self._observers:
+                self._observers.remove(entry)
 
         return unsubscribe
 
-    def subscribe(self, observer: Callable[[Block], None]) -> Callable[[], None]:
+    def subscribe(
+        self,
+        observer: Callable[[Block], None],
+        *,
+        name: str | None = None,
+    ) -> Callable[[], None]:
         """Compatibility shim: register a *block*-shaped observer.
 
         Equivalent to :meth:`subscribe_deltas` with the callback adapted
@@ -279,11 +345,13 @@ class ChainIndex:
         new streaming consumers should take the delta (see the module
         docstring for the shim's deprecation path).
         """
+        if name is None:
+            name = getattr(observer, "__qualname__", None) or repr(observer)
 
         def adapter(delta: BlockDelta) -> None:
             observer(delta.block)
 
-        return self.subscribe_deltas(adapter)
+        return self.subscribe_deltas(adapter, name=name)
 
     def add_chain(self, blocks: Iterable[Block]) -> None:
         """Ingest a whole chain in order."""

@@ -42,6 +42,7 @@ serving layer over the incremental engine + materialized views):
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path
@@ -49,6 +50,7 @@ from pathlib import Path
 from . import experiments
 from .chain.blockfile import BlockFileWriter
 from .chain.validation import validate_chain
+from .obs import MetricsRegistry, render_flight, render_snapshot
 from .service import ForensicsService, format_answer, parse_query
 from .simulation import scenarios
 
@@ -103,6 +105,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="durable state directory: warm-start from its newest snapshot",
     )
     query.add_argument(
+        "--metrics-dump",
+        type=Path,
+        default=None,
+        help=(
+            "record pipeline telemetry and write it as JSON "
+            "(metric catalogue: docs/metrics.md)"
+        ),
+    )
+    query.add_argument(
         "tokens",
         nargs="+",
         metavar="QUERY",
@@ -146,6 +157,35 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the executed workload as a replayable script",
     )
+    serve.add_argument(
+        "--metrics-dump",
+        type=Path,
+        default=None,
+        help=(
+            "record per-stage ingest/query telemetry (the chain is "
+            "re-ingested through an instrumented index) and write it as "
+            "JSON (metric catalogue: docs/metrics.md)"
+        ),
+    )
+
+    metrics_cmd = sub.add_parser(
+        "metrics",
+        help="render a --metrics-dump JSON file as tables",
+        description=(
+            "Render the counters, gauges, histogram summaries, and "
+            "flight-recorder spans captured by 'repro serve/query "
+            "--metrics-dump PATH'.  See docs/metrics.md for what each "
+            "metric means."
+        ),
+    )
+    metrics_cmd.add_argument("dump", type=Path, metavar="DUMP_JSON")
+    metrics_cmd.add_argument(
+        "--flight",
+        type=int,
+        default=20,
+        metavar="N",
+        help="how many of the newest flight-recorder spans to show",
+    )
 
     sim = sub.add_parser("simulate", help="generate a world and write block files")
     sim.add_argument("--scenario", choices=sorted(_SCENARIOS), default="default")
@@ -172,15 +212,41 @@ def _service_for(args, world):
     """The serving-layer service for ``query``/``serve``: a plain warm
     build, or a durable warm start when ``--state-dir`` is given.
 
-    Returns ``(service, checkpoint)`` where ``checkpoint`` re-snapshots
-    the (possibly mutated: new taint cases, tail growth) state on the
-    way out — a no-op without ``--state-dir``.
+    Returns ``(service, checkpoint, metrics)``: ``checkpoint``
+    re-snapshots the (possibly mutated: new taint cases, tail growth)
+    state on the way out — a no-op without ``--state-dir`` — and
+    ``metrics`` is the enabled registry when ``--metrics-dump`` asked
+    for one (``None`` otherwise).  With a registry and no state dir the
+    chain is re-ingested block by block through an instrumented index,
+    so the dump carries real per-stage ingest timings, not just query
+    latencies.
     """
+    metrics = (
+        MetricsRegistry()
+        if getattr(args, "metrics_dump", None) is not None
+        else None
+    )
     if args.state_dir is None:
-        return ForensicsService.from_world(world), lambda: None
-    warm = experiments.warm_service(world, args.state_dir)
+        if metrics is not None:
+            service = experiments.instrumented_service(world, metrics=metrics)
+        else:
+            service = ForensicsService.from_world(world)
+        return service, lambda: None, metrics
+    warm = experiments.warm_service(world, args.state_dir, metrics=metrics)
     print(f"[state-dir {args.state_dir}: {warm.report}]")
-    return warm.service, warm.checkpoint
+    return warm.service, warm.checkpoint, metrics
+
+
+def _write_metrics_dump(path: Path | None, metrics) -> None:
+    """Serialize one run's registry + flight recorder as JSON."""
+    if path is None or metrics is None:
+        return
+    payload = {
+        "metrics": metrics.snapshot(),
+        "flight": metrics.flight.dump(),
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"[metrics written to {path}; render with 'repro metrics {path}']")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -205,7 +271,7 @@ def main(argv: list[str] | None = None) -> int:
         print(experiments.run_cluster_timeseries(world).report)
     elif args.command == "query":
         world = _SCENARIOS[args.scenario](seed=args.seed)
-        service, checkpoint = _service_for(args, world)
+        service, checkpoint, metrics = _service_for(args, world)
         query = parse_query(args.tokens)
         start = time.perf_counter()
         answer = service.answer(query)
@@ -216,9 +282,10 @@ def main(argv: list[str] | None = None) -> int:
             f"answered warm in {elapsed * 1e3:.2f}ms]"
         )
         checkpoint()
+        _write_metrics_dump(args.metrics_dump, metrics)
     elif args.command == "serve":
         world = _SCENARIOS[args.scenario](seed=args.seed)
-        service, checkpoint = _service_for(args, world)
+        service, checkpoint, metrics = _service_for(args, world)
         if args.script is not None:
             queries = _load_workload_script(args.script)
             if not service.taint.labels and any(
@@ -257,6 +324,12 @@ def main(argv: list[str] | None = None) -> int:
             args.dump.write_text("\n".join(lines) + "\n")
             print(f"workload written to {args.dump}")
         checkpoint()
+        _write_metrics_dump(args.metrics_dump, metrics)
+    elif args.command == "metrics":
+        payload = json.loads(args.dump.read_text())
+        print(render_snapshot(payload.get("metrics", {})))
+        print()
+        print(render_flight(payload.get("flight", []), tail=args.flight))
     elif args.command == "stats":
         from .chain.stats import compute_statistics, format_statistics
 

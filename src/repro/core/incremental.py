@@ -52,6 +52,7 @@ from dataclasses import dataclass
 from ..chain.delta import BlockDelta, TxDelta
 from ..chain.errors import NonMonotonicTimestampError
 from ..chain.index import ChainIndex
+from ..obs import COUNT_BUCKETS, NULL_REGISTRY
 from .clustering import Clustering, InternedPartition
 from .heuristic2 import (
     ChangeLabel,
@@ -145,10 +146,14 @@ class IncrementalClusteringEngine:
         h2_config: Heuristic2Config | None = None,
         dice_addresses: frozenset[str] = frozenset(),
         follow: bool = True,
+        metrics=None,
     ) -> None:
         self.index = index
         self.h2_config = h2_config or Heuristic2Config.refined()
         self.dice_addresses = dice_addresses
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        """Telemetry sink for the ``engine.*`` per-block fold metrics
+        (H1 pair-batch sizes, effective merges, label lifecycle)."""
         self._h2 = Heuristic2(index, self.h2_config, dice_addresses=dice_addresses)
         self._uf = IntUnionFind()
         """H1-only unions, eagerly applied; H2 links are overlaid per
@@ -195,7 +200,9 @@ class IncrementalClusteringEngine:
         for height in range(index.height + 1):
             self._observe_delta(index.block_delta(height))
         if follow:
-            self._unsubscribe = index.subscribe_deltas(self._observe_delta)
+            self._unsubscribe = index.subscribe_deltas(
+                self._observe_delta, name="engine"
+            )
 
     # ------------------------------------------------------------------
     # streaming ingestion
@@ -289,9 +296,28 @@ class IncrementalClusteringEngine:
                 # is permanent from birth.
                 live.settled_at = height
                 self._settles_at.setdefault(height, []).append(live)
+        previous_mark = self._marks[-1] if self._marks else 0
+        previous_label_mark = self._label_marks[-1] if self._label_marks else 0
         self._marks.append(uf.checkpoint())
         self._seen.append(self._max_id + 1)
         self._label_marks.append(len(self._labels))
+        metrics = self.metrics
+        if metrics.enabled:
+            metrics.histogram(
+                "engine.h1_pairs", buckets=COUNT_BUCKETS
+            ).observe(len(delta.h1_a))
+            metrics.counter("engine.merges").inc(
+                self._marks[-1] - previous_mark
+            )
+            metrics.counter("engine.labels_born").inc(
+                self._label_marks[-1] - previous_label_mark
+            )
+            metrics.counter("engine.labels_voided").inc(
+                len(self._voids_at.get(height, ()))
+            )
+            metrics.counter("engine.labels_settled").inc(
+                len(self._settles_at.get(height, ()))
+            )
 
     def _sweep_expired_watches(self, now: int, height: int) -> None:
         """Drop watch entries whose wait window has closed (the labels
@@ -452,6 +478,7 @@ class IncrementalClusteringEngine:
         h2_config: Heuristic2Config | None = None,
         dice_addresses: frozenset[str] = frozenset(),
         follow: bool = True,
+        metrics=None,
     ) -> "IncrementalClusteringEngine":
         """Rebuild an engine from :meth:`export_state` output.
 
@@ -471,6 +498,7 @@ class IncrementalClusteringEngine:
         engine.index = index
         engine.h2_config = h2_config or Heuristic2Config.refined()
         engine.dice_addresses = dice_addresses
+        engine.metrics = metrics if metrics is not None else NULL_REGISTRY
         engine._h2 = Heuristic2(
             index, engine.h2_config, dice_addresses=dice_addresses
         )
@@ -537,7 +565,9 @@ class IncrementalClusteringEngine:
                 f"index is at {index.height}"
             )
         if follow:
-            engine._unsubscribe = index.subscribe_deltas(engine._observe_delta)
+            engine._unsubscribe = index.subscribe_deltas(
+                engine._observe_delta, name="engine"
+            )
         return engine
 
     # ------------------------------------------------------------------

@@ -392,8 +392,52 @@ class WarmServiceResult:
         self.store.snapshot(self.service)
 
 
+def instrumented_service(
+    world: World,
+    *,
+    metrics,
+    include_public_tags: bool = True,
+    crawl_seed: int = 0,
+    **kwargs,
+) -> ForensicsService:
+    """Build a service by *streaming* the world's blocks through a fresh
+    index with ``metrics`` attached from block zero.
+
+    :meth:`ForensicsService.from_world` attaches to the world's already
+    built index, so its catch-up replay happens before any registry can
+    observe it; this path rebuilds the chain through the instrumented
+    ``add_block`` fan-out instead — every delta build, fold, and flush
+    lands in the registry, and the end-to-end ingest wall clock is
+    recorded as the ``ingest.wall_seconds`` gauge.  This is the engine
+    behind ``repro serve --metrics-dump`` without ``--state-dir``.
+    """
+    from .chain.index import ChainIndex
+    from .core.heuristic2 import dice_addresses_from_tags
+    from .simulation.params import DICE_GAMES
+    from .tagging.sources import PublicTagCrawl
+    from .tagging.tags import TagStore
+
+    attack = world.extras.get("attack")
+    tags = attack.tags if attack is not None else TagStore()
+    if include_public_tags:
+        tags = tags.merged_with(PublicTagCrawl(world, seed=crawl_seed).crawl())
+    kwargs.setdefault(
+        "dice_addresses", dice_addresses_from_tags(tags, DICE_GAMES)
+    )
+    index = ChainIndex()
+    service = ForensicsService(index, tags=tags, metrics=metrics, **kwargs)
+    start = time.perf_counter()
+    for block in world.blocks:
+        index.add_block(block)
+    metrics.gauge("ingest.wall_seconds").set(time.perf_counter() - start)
+    metrics.gauge("ingest.blocks").set(len(world.blocks))
+    for theft in world.extras.get("thefts", ()):
+        service.watch_theft(theft.record.spec.name, theft.record.theft_txids)
+    return service
+
+
 def warm_service(
-    world: World, state_dir, *, retain: int = 3
+    world: World, state_dir, *, retain: int = 3, metrics=None
 ) -> WarmServiceResult:
     """Stand a service up against a durable state directory.
 
@@ -415,7 +459,7 @@ def warm_service(
 
     state_dir = Path(state_dir)
     blocks_dir = state_dir / "blocks"
-    store = StateStore(state_dir / "snapshots")
+    store = StateStore(state_dir / "snapshots", metrics=metrics)
     start = time.perf_counter()
     on_disk = (
         BlockFileReader(blocks_dir).count_blocks() if blocks_dir.is_dir() else 0
@@ -442,7 +486,10 @@ def warm_service(
             writer.write_block(block)
     snapshot = store.latest()
     if snapshot is None:
-        service = ForensicsService.from_world(world)
+        if metrics is not None and metrics.enabled:
+            service = instrumented_service(world, metrics=metrics)
+        else:
+            service = ForensicsService.from_world(world)
         store.snapshot(service)
         seconds = time.perf_counter() - start
         result = WarmServiceResult(

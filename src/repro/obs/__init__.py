@@ -1,0 +1,33 @@
+"""Pipeline observability: metrics registry, stage timing, flight spans.
+
+See :mod:`repro.obs.metrics` for the instruments and
+``docs/metrics.md`` for the full metric catalogue (name, type, labels,
+stage).
+"""
+
+from .metrics import (
+    COUNT_BUCKETS,
+    LATENCY_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    FlightRecorder,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    next_request_id,
+)
+from .render import render_flight, render_snapshot
+
+__all__ = [
+    "COUNT_BUCKETS",
+    "LATENCY_BUCKETS",
+    "NULL_REGISTRY",
+    "Counter",
+    "FlightRecorder",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "next_request_id",
+    "render_flight",
+    "render_snapshot",
+]

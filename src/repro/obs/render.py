@@ -1,0 +1,84 @@
+"""Human-readable rendering of a metrics snapshot (``repro metrics``).
+
+A ``--metrics-dump`` file is ``{"metrics": <registry snapshot>,
+"flight": <flight recorder dump>}``; :func:`render_snapshot` turns the
+snapshot half into the fixed-width table the CLI prints, and
+:func:`render_flight` tails the span ring.  Kept out of ``metrics.py``
+so the instrumented hot paths never import formatting code.
+"""
+
+from __future__ import annotations
+
+
+def _fmt_seconds(value: float | None) -> str:
+    if value is None:
+        return "-"
+    if value >= 1.0:
+        return f"{value:.3f}s"
+    if value >= 1e-3:
+        return f"{value * 1e3:.2f}ms"
+    return f"{value * 1e6:.1f}µs"
+
+
+def _fmt_value(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_snapshot(snapshot: dict) -> str:
+    """One table per instrument family, stage-sorted."""
+    lines: list[str] = []
+    counters = snapshot.get("counters", {})
+    if counters:
+        lines.append("counters:")
+        width = max(len(name) for name in counters)
+        for name in sorted(counters):
+            lines.append(f"  {name:<{width}}  {counters[name]}")
+    gauges = snapshot.get("gauges", {})
+    if gauges:
+        lines.append("gauges:")
+        width = max(len(name) for name in gauges)
+        for name in sorted(gauges):
+            lines.append(f"  {name:<{width}}  {_fmt_value(gauges[name])}")
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        lines.append("histograms:")
+        width = max(len(name) for name in histograms)
+        header = (
+            f"  {'name':<{width}}  {'count':>7}  {'total':>9}  "
+            f"{'mean':>9}  {'p50':>9}  {'p95':>9}  {'p99':>9}  {'max':>9}"
+        )
+        lines.append(header)
+        for name in sorted(histograms):
+            summary = histograms[name]
+            # Latency histograms format as durations; size/count
+            # histograms (h1_pairs, queued_blocks) as plain numbers.
+            fmt = _fmt_seconds if "seconds" in name else _fmt_value
+            lines.append(
+                f"  {name:<{width}}  {summary['count']:>7}  "
+                f"{fmt(summary['total']):>9}  "
+                f"{fmt(summary['mean']):>9}  "
+                f"{fmt(summary['p50']):>9}  "
+                f"{fmt(summary['p95']):>9}  "
+                f"{fmt(summary['p99']):>9}  "
+                f"{fmt(summary['max']):>9}"
+            )
+    if not lines:
+        return "no metrics recorded"
+    return "\n".join(lines)
+
+
+def render_flight(spans: list[dict], *, tail: int = 20) -> str:
+    """The newest ``tail`` flight-recorder spans, one line each."""
+    if not spans:
+        return "flight recorder: empty"
+    lines = [f"flight recorder ({len(spans)} spans, newest {tail}):"]
+    for span in spans[-tail:]:
+        fields = dict(span)
+        kind = fields.pop("kind", "?")
+        seconds = fields.pop("seconds", None)
+        rendered = " ".join(f"{k}={v}" for k, v in fields.items())
+        timing = f" [{_fmt_seconds(seconds)}]" if seconds is not None else ""
+        lines.append(f"  {kind}{timing} {rendered}".rstrip())
+    return "\n".join(lines)

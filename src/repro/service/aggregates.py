@@ -49,6 +49,7 @@ from __future__ import annotations
 
 from bisect import bisect_left, insort
 from dataclasses import dataclass
+from time import perf_counter
 
 import numpy as np
 
@@ -57,6 +58,7 @@ from ..chain.index import ChainIndex
 from ..core.arrays import IntVector
 from ..core.incremental import IncrementalClusteringEngine
 from ..core.union_find import IntUnionFind
+from ..obs import COUNT_BUCKETS, NULL_REGISTRY
 from .queries import ClusterRanking, TOP_CLUSTER_METRICS
 from .views import ClusterActivity, MaterializedView
 
@@ -187,6 +189,8 @@ class ClusterAggregateView(MaterializedView):
     (``address_id``/``input_id``) are immutable.
     """
 
+    OBSERVER_NAME = "aggregates"
+
     def __init__(
         self,
         index: ChainIndex,
@@ -194,6 +198,7 @@ class ClusterAggregateView(MaterializedView):
         engine: IncrementalClusteringEngine,
         follow: bool = True,
         use_kernels: bool = True,
+        metrics=None,
     ) -> None:
         self.engine = engine
         self._use_kernels = use_kernels
@@ -230,7 +235,7 @@ class ClusterAggregateView(MaterializedView):
         since the last :meth:`drain_naming_dirty` — fold endpoints and
         structurally changed overlay groups, never plain churn (balance
         or activity updates cannot move a cluster's id)."""
-        super().__init__(index, follow=follow)
+        super().__init__(index, follow=follow, metrics=metrics)
 
     # ------------------------------------------------------------------
     # streaming maintenance
@@ -261,6 +266,19 @@ class ClusterAggregateView(MaterializedView):
         if not pending:
             return
         self._pending = []
+        metrics = self.metrics
+        timed = metrics.enabled
+        if timed:
+            flush_start = perf_counter()
+            metrics.histogram(
+                "aggregates.queued_blocks", buckets=COUNT_BUCKETS
+            ).observe(len(pending))
+            metrics.counter("aggregates.churn_rows").inc(
+                sum(
+                    len(delta.event_ids) + len(delta.involved_flat)
+                    for delta in pending
+                )
+            )
         uf = self._uf
         find = uf.find
         min_member = self._min_member
@@ -362,6 +380,15 @@ class ClusterAggregateView(MaterializedView):
                 (group.cid, group.size, group.balance, group.tx_count)
             )
         self._refresh_ranks(stale_cids, new_entries)
+        if timed:
+            seconds = perf_counter() - flush_start
+            metrics.histogram("aggregates.flush_seconds").observe(seconds)
+            metrics.flight.record(
+                "flush",
+                height=self._height,
+                blocks=len(pending),
+                seconds=seconds,
+            )
 
     def _fold_block(
         self,
@@ -607,6 +634,7 @@ class ClusterAggregateView(MaterializedView):
         for item in parent:
             members.setdefault(gfind(item), []).append(item)
         groups: list[_OverlayGroup] = []
+        reuse_hits = 0
         sizes = self._uf.root_sizes
         balances = self._balance
         tx_counts = self._tx_count
@@ -626,6 +654,7 @@ class ClusterAggregateView(MaterializedView):
                 # Same topology, no member churn or fold: every
                 # aggregate (and the cid) is provably unchanged.
                 groups.append(prev)
+                reuse_hits += 1
                 continue
             size = balance = tx_count = 0
             first = last = -1
@@ -658,6 +687,10 @@ class ClusterAggregateView(MaterializedView):
                     first_seen=first,
                     last_seen=last,
                 )
+            )
+        if reuse_hits and self.metrics.enabled:
+            self.metrics.counter("aggregates.overlay_reuse_hits").inc(
+                reuse_hits
             )
         self._overlay_groups = groups
         self._overlay_of = {
@@ -861,6 +894,7 @@ class ClusterAggregateView(MaterializedView):
         engine: IncrementalClusteringEngine,
         follow: bool = True,
         use_kernels: bool = True,
+        metrics=None,
     ) -> "ClusterAggregateView":
         """Rebuild a view from :meth:`export_state` output, no catch-up.
 
@@ -871,6 +905,7 @@ class ClusterAggregateView(MaterializedView):
         version-1 list shape.
         """
         view = cls.__new__(cls)
+        view.metrics = metrics if metrics is not None else NULL_REGISTRY
         view.engine = engine
         view._use_kernels = use_kernels
         view._uf = IntUnionFind.from_state(state["uf"])

@@ -56,7 +56,9 @@ from __future__ import annotations
 
 from bisect import insort
 from dataclasses import dataclass
+from time import perf_counter
 
+from ..obs import next_request_id
 from ..tagging.naming import top_entity
 
 QUERY_KINDS = (
@@ -196,20 +198,43 @@ class QueryEngine:
 
     # -- entry points --------------------------------------------------
 
-    def answer(self, query: Query):
-        """Answer one query, memoized at the current chain height."""
+    def answer(self, query: Query, *, request_id: str | None = None):
+        """Answer one query, memoized at the current chain height.
+
+        ``request_id`` tags the query's flight-recorder span so every
+        dispatch of one client request correlates; :meth:`answer_many`
+        stamps one automatically (the convention an HTTP tier reuses by
+        forwarding its own id).
+        """
         handler = self._HANDLERS.get(query.kind)
         if handler is None:
             raise ValueError(
                 f"unknown query kind {query.kind!r} (kinds: {QUERY_KINDS})"
             )
+        metrics = self.service.metrics
+        timed = metrics.enabled
+        if timed:
+            start = perf_counter()
         cache = self.service.cache
         key = self._cache_key(query)
         found, value = cache.lookup(key)
-        if found:
-            return value
-        value = handler(self, query)
-        cache.put(key, value)
+        if not found:
+            value = handler(self, query)
+            cache.put(key, value)
+        if timed:
+            seconds = perf_counter() - start
+            metrics.histogram("query.seconds", kind=query.kind).observe(
+                seconds
+            )
+            span = {
+                "query": query.kind,
+                "hit": found,
+                "height": self.service.height,
+                "seconds": seconds,
+            }
+            if request_id is not None:
+                span["request_id"] = request_id
+            metrics.flight.record("query", **span)
         return value
 
     def _cache_key(self, query: Query):
@@ -220,7 +245,9 @@ class QueryEngine:
             return (self.service.height, self.service.taint.epoch, query)
         return (self.service.height, query)
 
-    def answer_many(self, queries: list[Query]) -> list:
+    def answer_many(
+        self, queries: list[Query], *, request_id: str | None = None
+    ) -> list:
         """Answer a batch; answers come back in input order.
 
         Same-view queries are grouped by kind so each kind's shared
@@ -229,14 +256,22 @@ class QueryEngine:
         siblings run — the amortization itself is the `_agg:*` / engine
         memoization, so interleaved :meth:`answer` calls converge to
         the same cost; grouping just makes the build order
-        deterministic."""
+        deterministic.
+
+        Every dispatch carries one shared ``request_id`` (minted here
+        when the caller passes none) so a batch's flight-recorder spans
+        correlate."""
+        if request_id is None and self.service.metrics.enabled:
+            request_id = next_request_id()
         answers: list = [None] * len(queries)
         by_kind: dict[str, list[int]] = {}
         for position, query in enumerate(queries):
             by_kind.setdefault(query.kind, []).append(position)
         for positions in by_kind.values():
             for position in positions:
-                answers[position] = self.answer(queries[position])
+                answers[position] = self.answer(
+                    queries[position], request_id=request_id
+                )
         return answers
 
     # -- differential fast path ----------------------------------------

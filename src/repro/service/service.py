@@ -35,6 +35,7 @@ from ..chain.index import ChainIndex
 from ..core.clustering import Clustering
 from ..core.heuristic2 import Heuristic2Config, dice_addresses_from_tags
 from ..core.incremental import IncrementalClusteringEngine
+from ..obs import NULL_REGISTRY
 from ..tagging.tags import TagStore
 from .aggregates import ClusterAggregateView
 from .cache import QueryCache
@@ -56,6 +57,7 @@ class ForensicsService:
         min_taint: float = 1.0,
         cache_size: int = 4096,
         differential_aggregates: bool = True,
+        metrics=None,
     ) -> None:
         """``tags`` drives cluster naming (profiles, top-cluster labels)
         and, unless ``name_of_address`` overrides it, the taint stop
@@ -68,31 +70,60 @@ class ForensicsService:
         every cluster query onto the batch ``_agg`` rebuild path — the
         benchmark baseline and the fallback-path test fixture; such a
         service cannot be snapshotted.
+
+        ``metrics`` is an optional
+        :class:`~repro.obs.MetricsRegistry`: when given (and enabled)
+        it is attached to the index and every component, so ingest,
+        folds, flushes, queries, and cache accounting all report into
+        one registry (see ``docs/metrics.md``).
         """
         self.index = index
         self.tags = tags
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        if self.metrics.enabled:
+            index.metrics = self.metrics
         self._custom_namer = name_of_address is not None
         self.engine = IncrementalClusteringEngine(
-            index, h2_config=h2_config, dice_addresses=dice_addresses
+            index,
+            h2_config=h2_config,
+            dice_addresses=dice_addresses,
+            metrics=self.metrics,
         )
         # The aggregate view folds each block's merge deltas, so it must
         # observe blocks after the engine (subscription order is
         # registration order).
         self.aggregates = (
-            ClusterAggregateView(index, engine=self.engine)
+            ClusterAggregateView(
+                index, engine=self.engine, metrics=self.metrics
+            )
             if differential_aggregates
             else None
         )
-        self.balances = BalanceView(index)
-        self.activity = ActivityView(index)
+        self.balances = BalanceView(index, metrics=self.metrics)
+        self.activity = ActivityView(index, metrics=self.metrics)
         tag_map = tags.as_mapping() if tags is not None else {}
         self.taint = TaintView(
             index,
             name_of_address=name_of_address or tag_map.get,
             min_taint=min_taint,
+            metrics=self.metrics,
         )
         self.cache = QueryCache(cache_size)
+        self._wire_cache_metrics()
         self.queries = QueryEngine(self)
+
+    def _wire_cache_metrics(self) -> None:
+        """Expose the cache's own accounting as sampled gauges — read at
+        snapshot time, zero cost on the lookup hot path."""
+        if not self.metrics.enabled:
+            return
+        cache = self.cache
+        metrics = self.metrics
+        metrics.gauge_fn("cache.hits", lambda: cache.hits)
+        metrics.gauge_fn("cache.misses", lambda: cache.misses)
+        metrics.gauge_fn("cache.evictions", lambda: cache.evictions)
+        metrics.gauge_fn("cache.entries", lambda: len(cache))
+        metrics.gauge_fn("cache.hit_rate", lambda: cache.hit_rate)
 
     @classmethod
     def from_world(
@@ -188,6 +219,7 @@ class ForensicsService:
         states: dict,
         *,
         follow: bool = True,
+        metrics=None,
     ) -> "ForensicsService":
         """Reassemble a service from restored component states.
 
@@ -210,6 +242,9 @@ class ForensicsService:
         service = cls.__new__(cls)
         service.index = index
         service.tags = tags
+        service.metrics = metrics if metrics is not None else NULL_REGISTRY
+        if service.metrics.enabled:
+            index.metrics = service.metrics
         service._custom_namer = False
         service.engine = IncrementalClusteringEngine.from_state(
             index,
@@ -217,18 +252,20 @@ class ForensicsService:
             h2_config=Heuristic2Config(**service_state["h2_config"]),
             dice_addresses=frozenset(service_state["dice_addresses"]),
             follow=follow,
+            metrics=service.metrics,
         )
         service.aggregates = ClusterAggregateView.from_state(
             index,
             states["aggregates"],
             engine=service.engine,
             follow=follow,
+            metrics=service.metrics,
         )
         service.balances = BalanceView.from_state(
-            index, states["balances"], follow=follow
+            index, states["balances"], follow=follow, metrics=service.metrics
         )
         service.activity = ActivityView.from_state(
-            index, states["activity"], follow=follow
+            index, states["activity"], follow=follow, metrics=service.metrics
         )
         tag_map = tags.as_mapping() if tags is not None else {}
         service.taint = TaintView.from_state(
@@ -237,8 +274,10 @@ class ForensicsService:
             name_of_address=tag_map.get,
             min_taint=service_state["min_taint"],
             follow=follow,
+            metrics=service.metrics,
         )
         service.cache = QueryCache(service_state["cache_size"])
+        service._wire_cache_metrics()
         service.queries = QueryEngine(service)
         return service
 
@@ -246,13 +285,15 @@ class ForensicsService:
     # the query API (see service/queries.py for answer shapes)
     # ------------------------------------------------------------------
 
-    def answer(self, query: Query):
+    def answer(self, query: Query, *, request_id: str | None = None):
         """Answer one :class:`~repro.service.queries.Query`."""
-        return self.queries.answer(query)
+        return self.queries.answer(query, request_id=request_id)
 
-    def answer_many(self, queries: list[Query]) -> list:
+    def answer_many(
+        self, queries: list[Query], *, request_id: str | None = None
+    ) -> list:
         """Batch entrypoint: answers in input order, grouped by kind."""
-        return self.queries.answer_many(queries)
+        return self.queries.answer_many(queries, request_id=request_id)
 
     def cluster_of(self, address: str):
         """Cluster root id for an address, or ``None`` if never seen."""
@@ -279,8 +320,12 @@ class ForensicsService:
         return self.answer(Query("cluster_profile", (address,)))
 
     def stats(self) -> dict:
-        """Serving metrics: height, watched cases, cache accounting."""
-        return {
+        """Serving metrics: height, watched cases, cache accounting.
+
+        When the service carries an enabled metrics registry the
+        snapshot rides along under ``"metrics"`` (counters, gauges, and
+        histogram summaries — see ``docs/metrics.md``)."""
+        stats = {
             "height": self.height,
             "addresses": self.index.address_count,
             "clusters": (
@@ -292,3 +337,6 @@ class ForensicsService:
             "taint_cases": len(self.taint.labels),
             **{f"cache_{k}": v for k, v in self.cache.stats().items()},
         }
+        if self.metrics.enabled:
+            stats["metrics"] = self.metrics.snapshot()
+        return stats

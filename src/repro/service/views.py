@@ -41,6 +41,7 @@ property by ``tests/chain/test_delta.py``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 
 import numpy as np
 
@@ -49,6 +50,7 @@ from ..chain.delta import BlockDelta
 from ..chain.index import ChainIndex
 from ..chain.model import OutPoint
 from ..core.arrays import IntVector, as_int64
+from ..obs import NULL_REGISTRY
 
 
 def _frombytes(buffer: bytes) -> np.ndarray:
@@ -63,16 +65,33 @@ class MaterializedView:
     it sees every block's delta exactly once, in height order
     (out-of-order delivery raises, mirroring the incremental clustering
     engine).
+
+    Folds report per-view telemetry when a ``metrics`` registry is
+    given: ``view.fold_seconds{view=…}`` times each :meth:`_apply_delta`
+    (a refinement of the index's per-subscriber fan-out timing) and
+    ``view.grown_slots{view=…}`` counts dense-array growth.
     """
 
-    def __init__(self, index: ChainIndex, *, follow: bool = True) -> None:
+    OBSERVER_NAME = "view"
+    """Subscriber label in fan-out and fold metrics (per subclass)."""
+
+    def __init__(
+        self,
+        index: ChainIndex,
+        *,
+        follow: bool = True,
+        metrics=None,
+    ) -> None:
         self.index = index
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self._height = -1
         self._unsubscribe = None
         for height in range(index.height + 1):
             self._observe_delta(index.block_delta(height))
         if follow:
-            self._unsubscribe = index.subscribe_deltas(self._observe_delta)
+            self._unsubscribe = index.subscribe_deltas(
+                self._observe_delta, name=self.OBSERVER_NAME
+            )
 
     def _adopt(self, index: ChainIndex, height: int, follow: bool) -> None:
         """Attach a snapshot-restored view to ``index`` at ``height``
@@ -83,9 +102,13 @@ class MaterializedView:
                 f"{index.height}"
             )
         self.index = index
+        if not hasattr(self, "metrics"):
+            self.metrics = NULL_REGISTRY
         self._height = height
         self._unsubscribe = (
-            index.subscribe_deltas(self._observe_delta) if follow else None
+            index.subscribe_deltas(self._observe_delta, name=self.OBSERVER_NAME)
+            if follow
+            else None
         )
 
     @property
@@ -105,7 +128,15 @@ class MaterializedView:
                 f"blocks must stream in order: expected height "
                 f"{self._height + 1}, got {delta.height}"
             )
-        self._apply_delta(delta)
+        metrics = self.metrics
+        if metrics.enabled:
+            start = perf_counter()
+            self._apply_delta(delta)
+            metrics.histogram(
+                "view.fold_seconds", view=self.OBSERVER_NAME
+            ).observe(perf_counter() - start)
+        else:
+            self._apply_delta(delta)
         self._height = delta.height
 
     def _apply_delta(self, delta: BlockDelta) -> None:
@@ -130,12 +161,15 @@ class BalanceView(MaterializedView):
     ``tests/service/test_fold_kernels.py``).
     """
 
+    OBSERVER_NAME = "balances"
+
     def __init__(
         self,
         index: ChainIndex,
         *,
         follow: bool = True,
         use_kernels: bool = True,
+        metrics=None,
     ) -> None:
         self._use_kernels = use_kernels
         self._balances = IntVector()
@@ -147,7 +181,7 @@ class BalanceView(MaterializedView):
         """Coins issued at each height."""
         self._supply: list[int] = []
         """Cumulative issuance by each height."""
-        super().__init__(index, follow=follow)
+        super().__init__(index, follow=follow, metrics=metrics)
 
     def _apply_delta(self, delta: BlockDelta) -> None:
         # The delta pre-flattened the block's debits and credits into
@@ -155,6 +189,10 @@ class BalanceView(MaterializedView):
         # id is ≤ max_id, so one grow per block covers the whole fold.
         balances = self._balances
         if delta.max_id >= len(balances):
+            if self.metrics.enabled:
+                self.metrics.counter(
+                    "view.grown_slots", view=self.OBSERVER_NAME
+                ).inc(delta.max_id + 1 - len(balances))
             balances.grow_to(delta.max_id + 1)
         if self._use_kernels:
             np.add.at(balances.array, delta.event_ids, delta.event_values)
@@ -196,6 +234,7 @@ class BalanceView(MaterializedView):
         *,
         follow: bool = True,
         use_kernels: bool = True,
+        metrics=None,
     ) -> "BalanceView":
         """Rebuild a view from :meth:`export_state` output, no catch-up.
 
@@ -203,6 +242,7 @@ class BalanceView(MaterializedView):
         version-1 list shape, so old snapshots stay restorable.
         """
         view = cls.__new__(cls)
+        view.metrics = metrics if metrics is not None else NULL_REGISTRY
         view._use_kernels = use_kernels
         if state.get("version", 1) >= 2:
             view._balances = IntVector.from_bytes(state["balances"])
@@ -314,6 +354,8 @@ class TaintView(MaterializedView):
     height-dependent cluster naming).
     """
 
+    OBSERVER_NAME = "taint"
+
     def __init__(
         self,
         index: ChainIndex,
@@ -321,6 +363,7 @@ class TaintView(MaterializedView):
         name_of_address=None,
         min_taint: float = 1.0,
         follow: bool = True,
+        metrics=None,
     ) -> None:
         self.name_of_address = name_of_address or (lambda _a: None)
         self.min_taint = min_taint
@@ -330,7 +373,7 @@ class TaintView(MaterializedView):
         watch set as well as the chain height, so caches key on
         ``(height, epoch)`` — (re)watching at an unchanged tip must not
         serve pre-watch answers."""
-        super().__init__(index, follow=follow)
+        super().__init__(index, follow=follow, metrics=metrics)
 
     def _apply_delta(self, delta: BlockDelta) -> None:
         if not self._cases:
@@ -391,6 +434,7 @@ class TaintView(MaterializedView):
         name_of_address=None,
         min_taint: float = 1.0,
         follow: bool = True,
+        metrics=None,
     ) -> "TaintView":
         """Rebuild a view from :meth:`export_state` output, no catch-up.
 
@@ -399,6 +443,7 @@ class TaintView(MaterializedView):
         state store exists for.
         """
         view = cls.__new__(cls)
+        view.metrics = metrics if metrics is not None else NULL_REGISTRY
         view.name_of_address = name_of_address or (lambda _a: None)
         view.min_taint = min_taint
         view._cases = {}
@@ -502,18 +547,21 @@ class ActivityView(MaterializedView):
     ``use_kernels=False`` selects the scalar per-id reference loop.
     """
 
+    OBSERVER_NAME = "activity"
+
     def __init__(
         self,
         index: ChainIndex,
         *,
         follow: bool = True,
         use_kernels: bool = True,
+        metrics=None,
     ) -> None:
         self._use_kernels = use_kernels
         self._tx_counts = IntVector()
         self._first_seen = IntVector()
         self._last_seen = IntVector()
-        super().__init__(index, follow=follow)
+        super().__init__(index, follow=follow, metrics=metrics)
 
     def _apply_delta(self, delta: BlockDelta) -> None:
         height = delta.height
@@ -522,6 +570,10 @@ class ActivityView(MaterializedView):
         last = self._last_seen
         if delta.max_id >= len(counts):
             n = delta.max_id + 1
+            if self.metrics.enabled:
+                self.metrics.counter(
+                    "view.grown_slots", view=self.OBSERVER_NAME
+                ).inc(n - len(counts))
             counts.grow_to(n)
             first.grow_to(n, fill=-1)
             last.grow_to(n, fill=-1)
@@ -566,6 +618,7 @@ class ActivityView(MaterializedView):
         *,
         follow: bool = True,
         use_kernels: bool = True,
+        metrics=None,
     ) -> "ActivityView":
         """Rebuild a view from :meth:`export_state` output, no catch-up.
 
@@ -573,6 +626,7 @@ class ActivityView(MaterializedView):
         version-1 list shape, so old snapshots stay restorable.
         """
         view = cls.__new__(cls)
+        view.metrics = metrics if metrics is not None else NULL_REGISTRY
         view._use_kernels = use_kernels
         if state.get("version", 1) >= 2:
             view._tx_counts = IntVector.from_bytes(state["tx_counts"])

@@ -35,9 +35,11 @@ import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
+from time import perf_counter
 
 from ..chain.blockfile import BlockFileReader
 from ..chain.index import ChainIndex
+from ..obs import NULL_REGISTRY
 from ..service.service import ForensicsService
 from .errors import NoSnapshotError, SnapshotIntegrityError, StorageError
 from .manifest import (
@@ -107,9 +109,26 @@ class WarmStart:
 class StateStore:
     """Snapshots of forensics-service state under one root directory."""
 
-    def __init__(self, root: str | os.PathLike[str]) -> None:
+    def __init__(
+        self,
+        root: str | os.PathLike[str],
+        *,
+        clock=time.time,
+        metrics=None,
+    ) -> None:
+        """``clock`` stamps each manifest's ``created_unix`` — injected
+        so tests can pin wall-clock fields; durations are always
+        measured with the monotonic ``perf_counter`` regardless.
+        ``metrics`` is an optional
+        :class:`~repro.obs.MetricsRegistry` that receives
+        snapshot/restore timings, byte counts, and integrity failures.
+        """
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self._clock = clock
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self.last_snapshot_seconds: float | None = None
+        self.last_restore_seconds: float | None = None
 
     # ------------------------------------------------------------------
     # capture
@@ -150,6 +169,7 @@ class StateStore:
         if scratch.exists():
             shutil.rmtree(scratch)
         scratch.mkdir(parents=True)
+        start = perf_counter()
         try:
             index = service.index
             with _bulk_allocation():
@@ -162,7 +182,7 @@ class StateStore:
                     "tip_timestamp": index.timestamp_at(height),
                 },
                 segments=segments,
-                created_unix=time.time(),
+                created_unix=self._clock(),
                 format_version=MANIFEST_VERSION,
             )
             write_manifest(scratch, manifest)
@@ -172,6 +192,19 @@ class StateStore:
         except BaseException:
             shutil.rmtree(scratch, ignore_errors=True)
             raise
+        seconds = perf_counter() - start
+        self.last_snapshot_seconds = seconds
+        metrics = self.metrics
+        if metrics.enabled:
+            total_bytes = sum(record["bytes"] for record in segments.values())
+            metrics.histogram("store.snapshot_seconds").observe(seconds)
+            metrics.counter("store.snapshot_bytes").inc(total_bytes)
+            metrics.flight.record(
+                "snapshot",
+                height=height,
+                bytes=total_bytes,
+                seconds=seconds,
+            )
         return final
 
     @staticmethod
@@ -257,33 +290,58 @@ class StateStore:
             if snapshot is None:
                 raise NoSnapshotError(f"no snapshots under {self.root}")
         directory = snapshot.directory
-        states = {}
-        with _bulk_allocation():
-            for name in COMPONENTS:
-                record = snapshot.segments.get(name)
-                if record is None:
-                    raise SnapshotIntegrityError(
-                        f"snapshot {directory} lists no {name!r} segment"
+        metrics = self.metrics
+        start = perf_counter()
+        try:
+            states = {}
+            total_bytes = 0
+            with _bulk_allocation():
+                for name in COMPONENTS:
+                    record = snapshot.segments.get(name)
+                    if record is None:
+                        raise SnapshotIntegrityError(
+                            f"snapshot {directory} lists no {name!r} segment"
+                        )
+                    states[name] = read_segment(
+                        directory / record["file"],
+                        expected_name=name,
+                        expected_sha256=record["sha256"],
                     )
-                states[name] = read_segment(
-                    directory / record["file"],
-                    expected_name=name,
-                    expected_sha256=record["sha256"],
+                    total_bytes += record.get("bytes", 0)
+                index = ChainIndex.restore_state(states["chain"])
+            if index.height != snapshot.height:
+                raise SnapshotIntegrityError(
+                    f"snapshot {directory} manifest says height "
+                    f"{snapshot.height} but the chain segment restores to "
+                    f"{index.height}"
                 )
-            index = ChainIndex.restore_state(states["chain"])
-        if index.height != snapshot.height:
-            raise SnapshotIntegrityError(
-                f"snapshot {directory} manifest says height "
-                f"{snapshot.height} but the chain segment restores to "
-                f"{index.height}"
+            if index.tx_count != snapshot.chain.get("tx_count"):
+                raise SnapshotIntegrityError(
+                    f"snapshot {directory} chain segment holds "
+                    f"{index.tx_count} txs, manifest promises "
+                    f"{snapshot.chain.get('tx_count')}"
+                )
+            service = ForensicsService.from_snapshot(
+                index,
+                states,
+                follow=follow,
+                metrics=metrics if metrics.enabled else None,
             )
-        if index.tx_count != snapshot.chain.get("tx_count"):
-            raise SnapshotIntegrityError(
-                f"snapshot {directory} chain segment holds "
-                f"{index.tx_count} txs, manifest promises "
-                f"{snapshot.chain.get('tx_count')}"
+        except SnapshotIntegrityError:
+            metrics.counter("store.integrity_failures").inc()
+            raise
+        seconds = perf_counter() - start
+        self.last_restore_seconds = seconds
+        if metrics.enabled:
+            metrics.histogram("store.restore_seconds").observe(seconds)
+            metrics.counter("store.restore_bytes").inc(total_bytes)
+            metrics.flight.record(
+                "restore",
+                height=snapshot.height,
+                bytes=total_bytes,
+                seconds=seconds,
             )
-        return ForensicsService.from_snapshot(index, states, follow=follow)
+        return service
 
     def warm_start(
         self,

@@ -22,6 +22,7 @@ from hypothesis import strategies as st
 
 from repro.chain.delta import BlockDelta
 from repro.chain.index import ChainIndex
+from repro.obs import MetricsRegistry
 from repro.service.views import ActivityView, BalanceView
 from repro.simulation import scenarios
 
@@ -70,6 +71,67 @@ class TestDeltaFanOut:
         # The block is ingested and the later subscriber observed it.
         assert target.height == 0
         assert seen == [0]
+
+    def test_every_subscriber_failure_counted_and_retained(self):
+        """Swallowed fan-out exceptions must stay visible: with metrics
+        attached, *every* failing subscriber — not just the first, whose
+        exception is the one re-raised — is counted per subscriber and
+        retained as a ``subscriber_error`` flight span, and the later
+        failures ride the raised exception as notes."""
+        target = ChainIndex()
+        target.metrics = MetricsRegistry()
+        seen = []
+
+        def explode_a(delta):
+            raise RuntimeError(f"boom a at {delta.height}")
+
+        def explode_b(delta):
+            raise ValueError(f"boom b at {delta.height}")
+
+        target.subscribe_deltas(explode_a, name="flaky-a")
+        target.subscribe_deltas(explode_b, name="flaky-b")
+        target.subscribe_deltas(lambda delta: seen.append(delta.height),
+                                name="healthy")
+        blocks = self._source_blocks(2)
+        with pytest.raises(RuntimeError, match="boom a at 0") as excinfo:
+            target.add_block(blocks[0])
+        # The second failure is not lost: it rides along as a note.
+        assert any(
+            "boom b at 0" in note for note in excinfo.value.__notes__
+        )
+        # The healthy subscriber still observed the block.
+        assert seen == [0]
+        counters = target.metrics.snapshot()["counters"]
+        assert counters["ingest.subscriber_errors{subscriber=flaky-a}"] == 1
+        assert counters["ingest.subscriber_errors{subscriber=flaky-b}"] == 1
+        assert "ingest.subscriber_errors{subscriber=healthy}" not in counters
+        errors = [
+            span for span in target.metrics.flight.dump()
+            if span["kind"] == "subscriber_error"
+        ]
+        assert [(span["subscriber"], span["height"]) for span in errors] == [
+            ("flaky-a", 0), ("flaky-b", 0),
+        ]
+        assert "boom a at 0" in errors[0]["error"]
+
+    def test_fanout_timed_per_subscriber_even_on_failure(self):
+        target = ChainIndex()
+        target.metrics = MetricsRegistry()
+
+        def explode(delta):
+            raise RuntimeError("boom")
+
+        target.subscribe_deltas(explode, name="flaky")
+        target.subscribe_deltas(lambda delta: None, name="healthy")
+        with pytest.raises(RuntimeError):
+            target.add_block(self._source_blocks(1)[0])
+        histograms = target.metrics.snapshot()["histograms"]
+        assert histograms["ingest.fanout_seconds{subscriber=flaky}"][
+            "count"
+        ] == 1
+        assert histograms["ingest.fanout_seconds{subscriber=healthy}"][
+            "count"
+        ] == 1
 
     def test_unsubscribe_stops_delta_delivery(self):
         target = ChainIndex()

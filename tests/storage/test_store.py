@@ -5,6 +5,7 @@ import pytest
 from repro import experiments
 from repro.chain.blockfile import BlockFileWriter
 from repro.chain.index import ChainIndex
+from repro.obs import MetricsRegistry
 from repro.service import ForensicsService
 from repro.simulation import scenarios
 from repro.storage import (
@@ -267,3 +268,60 @@ class TestWarmServiceWorkflow:
                 second.service.trace_taint(label)
                 == first.service.trace_taint(label)
             )
+
+
+class TestClockAndTelemetry:
+    """``created_unix`` comes from the injected wall clock; durations are
+    monotonic measurements; the metrics registry sees every capture,
+    recovery, and integrity failure."""
+
+    def test_created_unix_pinned_by_injected_clock(self, tmp_path, served):
+        store = StateStore(tmp_path, clock=lambda: 1_234_567_890.5)
+        path = store.snapshot(served)
+        assert read_manifest(path).created_unix == 1_234_567_890.5
+
+    def test_duration_fields_recorded(self, tmp_path, served):
+        store = StateStore(tmp_path)
+        assert store.last_snapshot_seconds is None
+        assert store.last_restore_seconds is None
+        store.snapshot(served)
+        assert store.last_snapshot_seconds > 0.0
+        assert store.last_restore_seconds is None
+        store.restore()
+        assert store.last_restore_seconds > 0.0
+
+    def test_snapshot_and_restore_metrics(self, tmp_path, served):
+        metrics = MetricsRegistry()
+        store = StateStore(tmp_path, metrics=metrics)
+        path = store.snapshot(served)
+        segment_bytes = sum(
+            record["bytes"]
+            for record in read_manifest(path).segments.values()
+        )
+        store.restore()
+        snapshot = metrics.snapshot()
+        assert snapshot["histograms"]["store.snapshot_seconds"]["count"] == 1
+        assert snapshot["histograms"]["store.restore_seconds"]["count"] == 1
+        assert snapshot["counters"]["store.snapshot_bytes"] == segment_bytes
+        assert snapshot["counters"]["store.restore_bytes"] == segment_bytes
+        kinds = [span["kind"] for span in metrics.flight.dump()]
+        assert kinds == ["snapshot", "restore"]
+        for span in metrics.flight.dump():
+            assert span["height"] == served.height
+            assert span["bytes"] == segment_bytes
+
+    def test_integrity_failure_counted(self, tmp_path, served):
+        metrics = MetricsRegistry()
+        store = StateStore(tmp_path, metrics=metrics)
+        path = store.snapshot(served)
+        target = path / "engine.seg"
+        raw = bytearray(target.read_bytes())
+        raw[len(raw) // 2] ^= 0x10
+        target.write_bytes(bytes(raw))
+        with pytest.raises(SnapshotIntegrityError):
+            store.restore()
+        counters = metrics.snapshot()["counters"]
+        assert counters["store.integrity_failures"] == 1
+        # A failed restore records no duration or success telemetry.
+        assert store.last_restore_seconds is None
+        assert "store.restore_bytes" not in counters
