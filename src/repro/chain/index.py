@@ -46,7 +46,7 @@ from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Callable, Iterable, Iterator
 
-from ..obs import NULL_REGISTRY
+from ..obs import NULL_LOGGER, NULL_REGISTRY
 from .delta import BlockDelta, build_block_delta
 from .errors import (
     DoubleSpendError,
@@ -178,6 +178,11 @@ class ChainIndex:
         Defaults to the shared disabled registry — assign an enabled one
         to record per-stage ingest timings (``ingest.*``) and per-block
         flight spans; see ``docs/metrics.md``."""
+        self.log = NULL_LOGGER
+        """Structured event sink (:class:`~repro.obs.log.EventLogger`).
+        Defaults to the shared null logger — assign a
+        :class:`~repro.obs.log.JsonLinesLogger` to record ingest and
+        subscriber-failure events; see ``docs/observability.md``."""
         self._timestamps: list[int] = []
         # Lazy backing for a snapshot-restored index; all None/absent in a
         # live-built one.  `_blocks` / `_records_by_id` hold None at not-
@@ -236,6 +241,12 @@ class ChainIndex:
                     txs=len(block.transactions),
                     seconds=perf_counter() - start,
                 )
+        if self.log.enabled:
+            self.log.debug(
+                "block_ingested",
+                height=block.height,
+                txs=len(block.transactions),
+            )
 
     def block_delta(self, height: int) -> BlockDelta:
         """The shared ingest plan for one already-ingested block.
@@ -278,6 +289,13 @@ class ChainIndex:
                         "ingest.subscriber_errors", subscriber=name
                     ).inc()
                     metrics.flight.record(
+                        "subscriber_error",
+                        height=delta.height,
+                        subscriber=name,
+                        error=repr(exc),
+                    )
+                if self.log.enabled:
+                    self.log.error(
                         "subscriber_error",
                         height=delta.height,
                         subscriber=name,

@@ -50,7 +50,13 @@ from pathlib import Path
 from . import experiments
 from .chain.blockfile import BlockFileWriter
 from .chain.validation import validate_chain
-from .obs import MetricsRegistry, render_flight, render_snapshot
+from .obs import (
+    JsonLinesLogger,
+    MetricsRegistry,
+    render_flight,
+    render_health,
+    render_snapshot,
+)
 from .service import ForensicsService, format_answer, parse_query
 from .simulation import scenarios
 
@@ -114,6 +120,16 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     query.add_argument(
+        "--log-json",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "append structured JSON-lines pipeline events to PATH "
+            "(schema: docs/observability.md)"
+        ),
+    )
+    query.add_argument(
         "tokens",
         nargs="+",
         metavar="QUERY",
@@ -167,6 +183,16 @@ def _build_parser() -> argparse.ArgumentParser:
             "JSON (metric catalogue: docs/metrics.md)"
         ),
     )
+    serve.add_argument(
+        "--log-json",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "append structured JSON-lines pipeline events to PATH "
+            "(schema: docs/observability.md)"
+        ),
+    )
 
     metrics_cmd = sub.add_parser(
         "metrics",
@@ -185,6 +211,50 @@ def _build_parser() -> argparse.ArgumentParser:
         default=20,
         metavar="N",
         help="how many of the newest flight-recorder spans to show",
+    )
+
+    health_cmd = sub.add_parser(
+        "health",
+        help="render the component health rollup from a --metrics-dump file",
+        description=(
+            "Render the per-component health report (chain, engine, "
+            "aggregates, views, cache, snapshots, audit) captured in a "
+            "'repro serve/query --metrics-dump PATH' file.  See "
+            "docs/observability.md for the health model."
+        ),
+    )
+    health_cmd.add_argument("dump", type=Path, metavar="DUMP_JSON")
+
+    doctor = sub.add_parser(
+        "doctor",
+        help="offline deep diagnostics over a --state-dir directory",
+        description=(
+            "Verify every snapshot segment checksum, restore the newest "
+            "clean snapshot, tail-replay the block files, run the full "
+            "invariant audit suite, and print a health report.  Exits "
+            "non-zero when any problem is found.  Runbook: "
+            "docs/observability.md."
+        ),
+    )
+    doctor.add_argument(
+        "--state-dir",
+        type=Path,
+        required=True,
+        help="durable state directory (as passed to serve/query)",
+    )
+    doctor.add_argument(
+        "--report",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="also write the full diagnosis as JSON",
+    )
+    doctor.add_argument(
+        "--log-json",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="append structured JSON-lines events from the diagnosis",
     )
 
     sim = sub.add_parser("simulate", help="generate a world and write block files")
@@ -208,7 +278,49 @@ def _load_workload_script(path: Path):
     return queries
 
 
-def _service_for(args, world):
+def _read_dump(path: Path) -> dict | None:
+    """Load a ``--metrics-dump`` JSON file, failing gracefully.
+
+    Returns the payload dict, or ``None`` after printing a one-line
+    error to stderr — missing files, empty files, malformed JSON, and
+    non-object payloads all degrade to a clear message instead of a
+    traceback.
+    """
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        print(f"error: cannot read {path}: {exc.strerror or exc}", file=sys.stderr)
+        return None
+    if not text.strip():
+        print(f"error: {path} is empty (expected --metrics-dump JSON)", file=sys.stderr)
+        return None
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        print(f"error: {path} is not valid JSON ({exc})", file=sys.stderr)
+        return None
+    if not isinstance(payload, dict):
+        print(
+            f"error: {path} holds {type(payload).__name__}, expected a "
+            f"--metrics-dump JSON object",
+            file=sys.stderr,
+        )
+        return None
+    return payload
+
+
+def _open_logger(args):
+    """The ``--log-json`` event logger, or ``None`` when not asked for.
+
+    Opened at debug level so dumps carry the per-block ingest events;
+    the JSON-lines consumer filters, not the producer."""
+    path = getattr(args, "log_json", None)
+    if path is None:
+        return None
+    return JsonLinesLogger(path, min_level="debug")
+
+
+def _service_for(args, world, log=None):
     """The serving-layer service for ``query``/``serve``: a plain warm
     build, or a durable warm start when ``--state-dir`` is given.
 
@@ -228,23 +340,33 @@ def _service_for(args, world):
     )
     if args.state_dir is None:
         if metrics is not None:
-            service = experiments.instrumented_service(world, metrics=metrics)
+            service = experiments.instrumented_service(
+                world, metrics=metrics, log=log
+            )
         else:
-            service = ForensicsService.from_world(world)
+            service = ForensicsService.from_world(world, log=log)
         return service, lambda: None, metrics
-    warm = experiments.warm_service(world, args.state_dir, metrics=metrics)
+    warm = experiments.warm_service(
+        world, args.state_dir, metrics=metrics, log=log
+    )
     print(f"[state-dir {args.state_dir}: {warm.report}]")
     return warm.service, warm.checkpoint, metrics
 
 
-def _write_metrics_dump(path: Path | None, metrics) -> None:
-    """Serialize one run's registry + flight recorder as JSON."""
+def _write_metrics_dump(path: Path | None, metrics, service=None) -> None:
+    """Serialize one run's registry + flight recorder (and, when the
+    service is given, its component health rollup) as JSON."""
     if path is None or metrics is None:
         return
+    # Health first: collecting it sets the health.* gauges, which the
+    # registry snapshot below should carry.
+    health = service.health_report().as_dict() if service is not None else None
     payload = {
         "metrics": metrics.snapshot(),
         "flight": metrics.flight.dump(),
     }
+    if health is not None:
+        payload["health"] = health
     path.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"[metrics written to {path}; render with 'repro metrics {path}']")
 
@@ -271,21 +393,27 @@ def main(argv: list[str] | None = None) -> int:
         print(experiments.run_cluster_timeseries(world).report)
     elif args.command == "query":
         world = _SCENARIOS[args.scenario](seed=args.seed)
-        service, checkpoint, metrics = _service_for(args, world)
-        query = parse_query(args.tokens)
-        start = time.perf_counter()
-        answer = service.answer(query)
-        elapsed = time.perf_counter() - start
-        print(format_answer(query, answer))
-        print(
-            f"[{args.scenario} @ height {service.height}, "
-            f"answered warm in {elapsed * 1e3:.2f}ms]"
-        )
-        checkpoint()
-        _write_metrics_dump(args.metrics_dump, metrics)
+        log = _open_logger(args)
+        try:
+            service, checkpoint, metrics = _service_for(args, world, log=log)
+            query = parse_query(args.tokens)
+            start = time.perf_counter()
+            answer = service.answer(query)
+            elapsed = time.perf_counter() - start
+            print(format_answer(query, answer))
+            print(
+                f"[{args.scenario} @ height {service.height}, "
+                f"answered warm in {elapsed * 1e3:.2f}ms]"
+            )
+            checkpoint()
+            _write_metrics_dump(args.metrics_dump, metrics, service=service)
+        finally:
+            if log is not None:
+                log.close()
     elif args.command == "serve":
         world = _SCENARIOS[args.scenario](seed=args.seed)
-        service, checkpoint, metrics = _service_for(args, world)
+        log = _open_logger(args)
+        service, checkpoint, metrics = _service_for(args, world, log=log)
         if args.script is not None:
             queries = _load_workload_script(args.script)
             if not service.taint.labels and any(
@@ -324,12 +452,48 @@ def main(argv: list[str] | None = None) -> int:
             args.dump.write_text("\n".join(lines) + "\n")
             print(f"workload written to {args.dump}")
         checkpoint()
-        _write_metrics_dump(args.metrics_dump, metrics)
+        _write_metrics_dump(args.metrics_dump, metrics, service=service)
+        if log is not None:
+            log.close()
     elif args.command == "metrics":
-        payload = json.loads(args.dump.read_text())
+        payload = _read_dump(args.dump)
+        if payload is None:
+            return 1
         print(render_snapshot(payload.get("metrics", {})))
         print()
         print(render_flight(payload.get("flight", []), tail=args.flight))
+    elif args.command == "health":
+        payload = _read_dump(args.dump)
+        if payload is None:
+            return 1
+        health = payload.get("health")
+        if not isinstance(health, dict):
+            print(
+                f"error: {args.dump} has no health report (dumps carry one "
+                f"when written by 'repro serve/query --metrics-dump')",
+                file=sys.stderr,
+            )
+            return 1
+        print(render_health(health))
+    elif args.command == "doctor":
+        from .obs.doctor import run_doctor
+
+        log = _open_logger(args)
+        try:
+            if log is not None:
+                report = run_doctor(args.state_dir, log=log)
+            else:
+                report = run_doctor(args.state_dir)
+            print(report.render())
+            if args.report is not None:
+                args.report.write_text(
+                    json.dumps(report.as_dict(), indent=2) + "\n"
+                )
+                print(f"[diagnosis written to {args.report}]")
+            return report.exit_code
+        finally:
+            if log is not None:
+                log.close()
     elif args.command == "stats":
         from .chain.stats import compute_statistics, format_statistics
 

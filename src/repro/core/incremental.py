@@ -420,6 +420,19 @@ class IncrementalClusteringEngine:
             if live.voided_at is None and live.settled_at is None
         ]
 
+    @property
+    def open_label_count(self) -> int:
+        """How many labels are still inside their §4.2 wait window.
+
+        The health model reads this as the engine's backlog: every open
+        label is overlay work for differential consumers, so a count
+        that keeps growing means change outputs are not settling."""
+        return sum(
+            1
+            for live in self._labels
+            if live.voided_at is None and live.settled_at is None
+        )
+
     # ------------------------------------------------------------------
     # durable state (snapshot / restore)
     # ------------------------------------------------------------------

@@ -437,7 +437,7 @@ def instrumented_service(
 
 
 def warm_service(
-    world: World, state_dir, *, retain: int = 3, metrics=None
+    world: World, state_dir, *, retain: int = 3, metrics=None, log=None
 ) -> WarmServiceResult:
     """Stand a service up against a durable state directory.
 
@@ -459,7 +459,7 @@ def warm_service(
 
     state_dir = Path(state_dir)
     blocks_dir = state_dir / "blocks"
-    store = StateStore(state_dir / "snapshots", metrics=metrics)
+    store = StateStore(state_dir / "snapshots", metrics=metrics, log=log)
     start = time.perf_counter()
     on_disk = (
         BlockFileReader(blocks_dir).count_blocks() if blocks_dir.is_dir() else 0
@@ -487,9 +487,9 @@ def warm_service(
     snapshot = store.latest()
     if snapshot is None:
         if metrics is not None and metrics.enabled:
-            service = instrumented_service(world, metrics=metrics)
+            service = instrumented_service(world, metrics=metrics, log=log)
         else:
-            service = ForensicsService.from_world(world)
+            service = ForensicsService.from_world(world, log=log)
         store.snapshot(service)
         seconds = time.perf_counter() - start
         result = WarmServiceResult(

@@ -1,10 +1,17 @@
-"""Pipeline observability: metrics registry, stage timing, flight spans.
+"""Pipeline observability: metrics, structured logs, audits, health.
 
-See :mod:`repro.obs.metrics` for the instruments and
-``docs/metrics.md`` for the full metric catalogue (name, type, labels,
-stage).
+See :mod:`repro.obs.metrics` for the instruments, ``docs/metrics.md``
+for the full metric catalogue (name, type, labels, stage), and
+``docs/observability.md`` for the event-log schema, the health model,
+the invariant auditor, and the ``repro doctor`` runbook.
+
+The audit/health/doctor modules import service- and storage-layer
+types which themselves import this package, so they are exposed
+lazily: ``from repro.obs import InvariantAuditor`` works, but nothing
+here forces those layers to load during pipeline bring-up.
 """
 
+from .log import LEVELS, NULL_LOGGER, EventLogger, JsonLinesLogger
 from .metrics import (
     COUNT_BUCKETS,
     LATENCY_BUCKETS,
@@ -16,18 +23,55 @@ from .metrics import (
     MetricsRegistry,
     next_request_id,
 )
-from .render import render_flight, render_snapshot
+from .render import render_flight, render_health, render_snapshot
 
 __all__ = [
     "COUNT_BUCKETS",
     "LATENCY_BUCKETS",
+    "LEVELS",
+    "NULL_LOGGER",
     "NULL_REGISTRY",
+    "AuditCheck",
+    "AuditReport",
+    "AuditViolationError",
+    "ComponentHealth",
     "Counter",
+    "DoctorReport",
+    "EventLogger",
     "FlightRecorder",
     "Gauge",
+    "HealthReport",
     "Histogram",
+    "InvariantAuditor",
+    "JsonLinesLogger",
     "MetricsRegistry",
+    "collect_health",
     "next_request_id",
     "render_flight",
+    "render_health",
     "render_snapshot",
+    "run_doctor",
 ]
+
+_LAZY = {
+    "AuditCheck": "audit",
+    "AuditReport": "audit",
+    "AuditViolationError": "audit",
+    "InvariantAuditor": "audit",
+    "ComponentHealth": "health",
+    "HealthReport": "health",
+    "collect_health": "health",
+    "DoctorReport": "doctor",
+    "run_doctor": "doctor",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    from importlib import import_module
+
+    value = getattr(import_module(f".{module_name}", __name__), name)
+    globals()[name] = value
+    return value

@@ -69,6 +69,25 @@ def render_snapshot(snapshot: dict) -> str:
     return "\n".join(lines)
 
 
+def render_health(health: dict) -> str:
+    """One line per component plus the rollup (``repro health``).
+
+    Takes the ``HealthReport.as_dict()`` shape the ``--metrics-dump``
+    JSON carries under ``"health"``.
+    """
+    components = health.get("components", [])
+    lines = [f"health: {health.get('status', '?')}"]
+    if not components:
+        return lines[0]
+    width = max(len(entry["component"]) for entry in components)
+    for entry in components:
+        lines.append(
+            f"  {entry['component']:<{width}}  {entry['status']:<9} "
+            f"{entry['summary']}"
+        )
+    return "\n".join(lines)
+
+
 def render_flight(spans: list[dict], *, tail: int = 20) -> str:
     """The newest ``tail`` flight-recorder spans, one line each."""
     if not spans:

@@ -153,6 +153,25 @@ class _OverlayGroup:
     last_seen: int
 
 
+class DirtyRootCursor:
+    """One consumer's registration for dirty-root naming churn.
+
+    Mirrors :class:`~repro.core.union_find.MergeCursor`: each consumer
+    holds its own cursor, and :meth:`ClusterAggregateView.drain_naming_dirty`
+    returns (and clears) only *that cursor's* accumulated set — so the
+    query engine's incremental cluster-name aggregate and the invariant
+    auditor can both follow naming churn without starving each other.
+    Pending roots are distributed into every registered cursor at drain
+    time, so an idle consumer's backlog is a deduplicated set of base
+    roots (bounded by the universe), never an unbounded log.
+    """
+
+    __slots__ = ("dirty",)
+
+    def __init__(self) -> None:
+        self.dirty: set[int] = set()
+
+
 class ClusterAggregateView(MaterializedView):
     """Streaming per-cluster balance/activity/size/ranking maintenance.
 
@@ -234,7 +253,13 @@ class ClusterAggregateView(MaterializedView):
         """Base roots whose *canonical id mapping* may have changed
         since the last :meth:`drain_naming_dirty` — fold endpoints and
         structurally changed overlay groups, never plain churn (balance
-        or activity updates cannot move a cluster's id)."""
+        or activity updates cannot move a cluster's id).  This is the
+        *pending* set: drains distribute it into every registered
+        :class:`DirtyRootCursor` before returning the caller's own."""
+        self._naming_cursors: list[DirtyRootCursor] = []
+        self._default_naming_cursor: DirtyRootCursor | None = None
+        """Backs cursor-less :meth:`drain_naming_dirty` calls (the
+        pre-cursor single-consumer API), lazily registered."""
         super().__init__(index, follow=follow, metrics=metrics)
 
     # ------------------------------------------------------------------
@@ -388,6 +413,13 @@ class ClusterAggregateView(MaterializedView):
                 height=self._height,
                 blocks=len(pending),
                 seconds=seconds,
+            )
+        log = self.index.log
+        if log.enabled:
+            log.debug(
+                "aggregate_flush",
+                height=self._height,
+                blocks=len(pending),
             )
 
     def _fold_block(
@@ -774,24 +806,67 @@ class ClusterAggregateView(MaterializedView):
             )
         return out
 
-    def drain_naming_dirty(self) -> set[int]:
-        """Return (and clear) the base roots whose canonical-id mapping
-        may have changed since the previous drain.
+    def naming_cursor(self) -> DirtyRootCursor:
+        """Register a dirty-root consumer (see :class:`DirtyRootCursor`).
 
-        Single-consumer contract: the query engine's incremental
-        cluster-name aggregate drains this after every flush it folds
-        from; a second consumer would starve the first.  An id resolved
-        through :meth:`cluster_placements_of` stays valid until a drain
-        reports its root — fold endpoints and structural overlay changes
-        are reported, plain churn (which cannot move a cluster's id) is
-        not.
+        The cursor sees only roots marked dirty *after* registration —
+        a new consumer does a full build first (ids resolved through
+        :meth:`cluster_placements_of` carry their base root for exactly
+        this), then follows churn through :meth:`drain_naming_dirty`.
+        Cursors are not durable state: a restored view starts with none
+        registered, and consumers re-register against the view they
+        actually follow.
+        """
+        cursor = DirtyRootCursor()
+        self._naming_cursors.append(cursor)
+        return cursor
+
+    def release_naming_cursor(self, cursor: DirtyRootCursor) -> None:
+        """Deregister a cursor (its backlog stops accumulating)."""
+        try:
+            self._naming_cursors.remove(cursor)
+        except ValueError:
+            pass
+        if cursor is self._default_naming_cursor:
+            self._default_naming_cursor = None
+
+    def drain_naming_dirty(
+        self, cursor: DirtyRootCursor | None = None
+    ) -> set[int]:
+        """Return (and clear) the base roots whose canonical-id mapping
+        may have changed since ``cursor`` last drained.
+
+        Every registered cursor observes every dirty root exactly once:
+        the pending set is distributed into each cursor's own set here,
+        then the caller's set is handed over and replaced.  Calling
+        without a cursor uses a lazily registered default — the old
+        single-consumer API, still what a lone consumer needs.  An id
+        resolved through :meth:`cluster_placements_of` stays valid until
+        a drain reports its root — fold endpoints and structural overlay
+        changes are reported, plain churn (which cannot move a cluster's
+        id) is not.
         """
         self._flush()
-        dirty = self._naming_dirty
+        if cursor is None:
+            cursor = self._default_naming_cursor
+            if cursor is None:
+                cursor = self._default_naming_cursor = self.naming_cursor()
+        pending = self._naming_dirty
+        if pending:
+            for registered in self._naming_cursors:
+                registered.dirty |= pending
+            self._naming_dirty = set()
+        dirty = cursor.dirty
         if not dirty:
             return dirty
-        self._naming_dirty = set()
+        cursor.dirty = set()
         return dirty
+
+    @property
+    def pending_blocks(self) -> int:
+        """Blocks queued but not yet folded (the flush-queue depth the
+        health model reports)."""
+        return len(self._pending)
 
     def _locate(self, cluster_id: int) -> tuple[int, _OverlayGroup | None]:
         """Resolve a canonical id to its base root / overlay group."""
@@ -923,6 +998,8 @@ class ClusterAggregateView(MaterializedView):
         view._open = set(engine.open_labels())
         view._pending = []
         view._naming_dirty = set()
+        view._naming_cursors = []
+        view._default_naming_cursor = None
         view._rebuild_derived()
         view._adopt(index, state["height"], follow)
         return view

@@ -195,6 +195,12 @@ class QueryEngine:
         map.  Re-validated per height against the view's dirty-root
         drain, so a height without cid-moving churn serves the previous
         map untouched."""
+        self._naming_cursor = None
+        """This engine's :class:`~repro.service.aggregates.DirtyRootCursor`
+        on the aggregate view's dirty-root feed.  Registered lazily on
+        the first live name build, so an engine that never names
+        clusters costs the view nothing — and other consumers (the
+        auditor) drain their own cursors without starving this one."""
 
     # -- entry points --------------------------------------------------
 
@@ -219,7 +225,18 @@ class QueryEngine:
         key = self._cache_key(query)
         found, value = cache.lookup(key)
         if not found:
-            value = handler(self, query)
+            try:
+                value = handler(self, query)
+            except Exception as exc:
+                log = self.service.log
+                if log.enabled:
+                    log.error(
+                        "query_error",
+                        kind=query.kind,
+                        height=self.service.height,
+                        error=repr(exc),
+                    )
+                raise
             cache.put(key, value)
         if timed:
             seconds = perf_counter() - start
@@ -401,7 +418,9 @@ class QueryEngine:
             }
 
         entries, fresh = self._resolved_tags()
-        dirty = view.drain_naming_dirty()
+        if self._naming_cursor is None:
+            self._naming_cursor = view.naming_cursor()
+        dirty = view.drain_naming_dirty(self._naming_cursor)
         state = self._naming_state
         if state is None:
             placements = view.cluster_placements_of(

@@ -35,7 +35,7 @@ from ..chain.index import ChainIndex
 from ..core.clustering import Clustering
 from ..core.heuristic2 import Heuristic2Config, dice_addresses_from_tags
 from ..core.incremental import IncrementalClusteringEngine
-from ..obs import NULL_REGISTRY
+from ..obs import NULL_LOGGER, NULL_REGISTRY
 from ..tagging.tags import TagStore
 from .aggregates import ClusterAggregateView
 from .cache import QueryCache
@@ -58,6 +58,7 @@ class ForensicsService:
         cache_size: int = 4096,
         differential_aggregates: bool = True,
         metrics=None,
+        log=None,
     ) -> None:
         """``tags`` drives cluster naming (profiles, top-cluster labels)
         and, unless ``name_of_address`` overrides it, the taint stop
@@ -76,12 +77,24 @@ class ForensicsService:
         it is attached to the index and every component, so ingest,
         folds, flushes, queries, and cache accounting all report into
         one registry (see ``docs/metrics.md``).
+
+        ``log`` is an optional structured event logger
+        (:class:`~repro.obs.JsonLinesLogger`): when given (and enabled)
+        it is attached to the index, so ingest, subscriber failures,
+        flushes, and query errors all land in one JSON-lines stream
+        (see ``docs/observability.md``).
         """
         self.index = index
         self.tags = tags
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
         if self.metrics.enabled:
             index.metrics = self.metrics
+        self.log = log if log is not None else NULL_LOGGER
+        if self.log.enabled:
+            index.log = self.log
+        self.auditor = None
+        """The attached :class:`~repro.obs.InvariantAuditor`, when one
+        was constructed over this service (it registers itself)."""
         self._custom_namer = name_of_address is not None
         self.engine = IncrementalClusteringEngine(
             index,
@@ -220,6 +233,7 @@ class ForensicsService:
         *,
         follow: bool = True,
         metrics=None,
+        log=None,
     ) -> "ForensicsService":
         """Reassemble a service from restored component states.
 
@@ -245,6 +259,10 @@ class ForensicsService:
         service.metrics = metrics if metrics is not None else NULL_REGISTRY
         if service.metrics.enabled:
             index.metrics = service.metrics
+        service.log = log if log is not None else NULL_LOGGER
+        if service.log.enabled:
+            index.log = service.log
+        service.auditor = None
         service._custom_namer = False
         service.engine = IncrementalClusteringEngine.from_state(
             index,
@@ -339,4 +357,15 @@ class ForensicsService:
         }
         if self.metrics.enabled:
             stats["metrics"] = self.metrics.snapshot()
+        stats["health"] = self.health_report().as_dict()
         return stats
+
+    def health_report(self, store=None):
+        """Component-level :class:`~repro.obs.HealthReport` rollup.
+
+        ``store`` is an optional :class:`~repro.storage.StateStore`
+        whose newest snapshot grades the durability component; without
+        one, snapshot freshness is reported as degraded."""
+        from ..obs.health import collect_health
+
+        return collect_health(self, store=store, auditor=self.auditor)

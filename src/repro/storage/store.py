@@ -39,7 +39,7 @@ from time import perf_counter
 
 from ..chain.blockfile import BlockFileReader
 from ..chain.index import ChainIndex
-from ..obs import NULL_REGISTRY
+from ..obs import NULL_LOGGER, NULL_REGISTRY
 from ..service.service import ForensicsService
 from .errors import NoSnapshotError, SnapshotIntegrityError, StorageError
 from .manifest import (
@@ -115,6 +115,7 @@ class StateStore:
         *,
         clock=time.time,
         metrics=None,
+        log=None,
     ) -> None:
         """``clock`` stamps each manifest's ``created_unix`` — injected
         so tests can pin wall-clock fields; durations are always
@@ -122,11 +123,14 @@ class StateStore:
         ``metrics`` is an optional
         :class:`~repro.obs.MetricsRegistry` that receives
         snapshot/restore timings, byte counts, and integrity failures.
+        ``log`` is an optional :class:`~repro.obs.EventLogger` that
+        records snapshot/restore events and integrity failures.
         """
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self._clock = clock
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self.log = log if log is not None else NULL_LOGGER
         self.last_snapshot_seconds: float | None = None
         self.last_restore_seconds: float | None = None
 
@@ -203,6 +207,13 @@ class StateStore:
                 "snapshot",
                 height=height,
                 bytes=total_bytes,
+                seconds=seconds,
+            )
+        if self.log.enabled:
+            self.log.info(
+                "snapshot_written",
+                height=height,
+                directory=str(final),
                 seconds=seconds,
             )
         return final
@@ -326,9 +337,16 @@ class StateStore:
                 states,
                 follow=follow,
                 metrics=metrics if metrics.enabled else None,
+                log=self.log if self.log.enabled else None,
             )
-        except SnapshotIntegrityError:
+        except SnapshotIntegrityError as exc:
             metrics.counter("store.integrity_failures").inc()
+            if self.log.enabled:
+                self.log.error(
+                    "snapshot_integrity_failure",
+                    directory=str(directory),
+                    error=repr(exc),
+                )
             raise
         seconds = perf_counter() - start
         self.last_restore_seconds = seconds
@@ -341,7 +359,49 @@ class StateStore:
                 bytes=total_bytes,
                 seconds=seconds,
             )
+        if self.log.enabled:
+            self.log.info(
+                "snapshot_restored",
+                height=snapshot.height,
+                directory=str(directory),
+                seconds=seconds,
+            )
         return service
+
+    def verify_snapshot(self, snapshot: SnapshotManifest) -> list[str]:
+        """Checksum-verify every segment of one snapshot, without
+        deserializing into a service.
+
+        Returns a list of human-readable problems (empty when the
+        snapshot is intact); used by ``repro doctor`` to grade each
+        snapshot on disk independently of whether it will be restored.
+        """
+        directory = snapshot.directory
+        problems: list[str] = []
+        for name in COMPONENTS:
+            record = snapshot.segments.get(name)
+            if record is None:
+                problems.append(f"manifest lists no {name!r} segment")
+                continue
+            try:
+                read_segment(
+                    directory / record["file"],
+                    expected_name=name,
+                    expected_sha256=record["sha256"],
+                )
+            except (SnapshotIntegrityError, OSError) as exc:
+                problems.append(f"segment {name!r}: {exc}")
+        if problems:
+            self.metrics.counter("store.integrity_failures").inc(
+                len(problems)
+            )
+            if self.log.enabled:
+                self.log.error(
+                    "snapshot_verify_failed",
+                    directory=str(directory),
+                    problems=len(problems),
+                )
+        return problems
 
     def warm_start(
         self,

@@ -270,3 +270,108 @@ class TestFallbackBelowLiveHeight:
         service.aggregates.detach()
         target.add_block(micro_world.index.block_at(10))
         assert service.stats()["clusters"] is None
+
+
+class TestDirtyRootCursors:
+    """Per-cursor dirty-root delivery: multiple naming consumers (the
+    query engine's name aggregate, the invariant auditor) each observe
+    every dirty root exactly once, without starving one another."""
+
+    def _stream(self, world, n_blocks, *hooks):
+        """Stream ``n_blocks``, invoking each hook after every block;
+        returns the service."""
+        target = ChainIndex()
+        service = ForensicsService(target, tags=None)
+        for block in world.blocks[:n_blocks]:
+            target.add_block(block)
+            for hook in hooks:
+                hook(service.aggregates)
+        return service
+
+    def test_two_cursors_both_observe_all_dirty_roots(self, micro_world):
+        target = ChainIndex()
+        service = ForensicsService(target, tags=None)
+        view = service.aggregates
+        first = view.naming_cursor()
+        second = view.naming_cursor()
+        seen_first: set[int] = set()
+        seen_second: set[int] = set()
+        for block in micro_world.blocks[:30]:
+            target.add_block(block)
+            # Interleave drain cadences: first drains per block, second
+            # every third block — the backlog must still be complete.
+            seen_first |= view.drain_naming_dirty(first)
+            if block.height % 3 == 2:
+                seen_second |= view.drain_naming_dirty(second)
+        seen_second |= view.drain_naming_dirty(second)
+        assert seen_first == seen_second
+        assert seen_first  # folds happened; churn was reported
+
+    def test_drain_clears_only_the_draining_cursor(self, micro_world):
+        target = ChainIndex()
+        service = ForensicsService(target, tags=None)
+        view = service.aggregates
+        first = view.naming_cursor()
+        second = view.naming_cursor()
+        for block in micro_world.blocks[:30]:
+            target.add_block(block)
+        drained = view.drain_naming_dirty(first)
+        assert drained
+        assert view.drain_naming_dirty(first) == set()
+        # The other consumer still holds its full backlog.
+        assert view.drain_naming_dirty(second) == drained
+
+    def test_cursorless_drain_keeps_working(self, micro_world):
+        """The pre-cursor single-consumer API: drains with no cursor
+        argument share one lazily registered default cursor."""
+        target = ChainIndex()
+        service = ForensicsService(target, tags=None)
+        view = service.aggregates
+        for block in micro_world.blocks[:30]:
+            target.add_block(block)
+        drained = view.drain_naming_dirty()
+        assert drained
+        assert view.drain_naming_dirty() == set()
+
+    def test_released_cursor_stops_accumulating(self, micro_world):
+        target = ChainIndex()
+        service = ForensicsService(target, tags=None)
+        view = service.aggregates
+        cursor = view.naming_cursor()
+        for block in micro_world.blocks[:8]:
+            target.add_block(block)
+        view.release_naming_cursor(cursor)
+        view.drain_naming_dirty()  # distributes pending to cursors
+        assert cursor.dirty == set()
+
+    def test_new_cursor_sees_only_future_churn(self, micro_world):
+        target = ChainIndex()
+        service = ForensicsService(target, tags=None)
+        view = service.aggregates
+        for block in micro_world.blocks[:12]:
+            target.add_block(block)
+        view.drain_naming_dirty()  # flush + distribute everything so far
+        late = view.naming_cursor()
+        assert view.drain_naming_dirty(late) == set()
+
+    def test_query_names_and_auditor_coexist(self, micro_world):
+        """End to end: the query engine's incremental name aggregate and
+        a strict auditor both follow naming churn through their own
+        cursors, and the incremental name map still equals a
+        from-scratch build at every audited height."""
+        from repro.obs import InvariantAuditor
+        from repro.service.queries import QueryEngine
+
+        attack = micro_world.extras.get("attack")
+        tags = attack.tags if attack is not None else None
+        target = ChainIndex()
+        service = ForensicsService(target, tags=tags)
+        auditor = InvariantAuditor(service, audit_every=5, strict=True)
+        for block in micro_world.blocks[:40]:
+            target.add_block(block)
+            incremental = service.queries._cluster_names()
+            assert incremental == QueryEngine(
+                service
+            )._build_cluster_names(), block.height
+        assert auditor.audits_run == 8
+        assert auditor.total_violations == 0

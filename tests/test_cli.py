@@ -90,6 +90,138 @@ class TestStateDirWarmStart:
         assert "taint cases: 3" in second
 
 
+class TestMetricsAndHealthRendering:
+    """`repro metrics` / `repro health` degrade to one-line errors on
+    bad dump files — no tracebacks — and render real dumps."""
+
+    def _dump(self, tmp_path, capsys):
+        dump = tmp_path / "metrics.json"
+        exit_code = main(
+            ["query", "--scenario", "micro", "--seed", "3",
+             "--metrics-dump", str(dump),
+             "top-clusters", "5", "balance"]
+        )
+        assert exit_code == 0
+        capsys.readouterr()
+        return dump
+
+    @pytest.mark.parametrize("command", ["metrics", "health"])
+    def test_missing_dump_one_line_error(self, tmp_path, capsys, command):
+        exit_code = main([command, str(tmp_path / "nope.json")])
+        assert exit_code == 1
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error: cannot read")
+        assert len(captured.err.strip().splitlines()) == 1
+
+    @pytest.mark.parametrize("command", ["metrics", "health"])
+    def test_empty_dump_one_line_error(self, tmp_path, capsys, command):
+        dump = tmp_path / "empty.json"
+        dump.write_text("   \n")
+        assert main([command, str(dump)]) == 1
+        err = capsys.readouterr().err
+        assert "is empty" in err
+        assert len(err.strip().splitlines()) == 1
+
+    @pytest.mark.parametrize("command", ["metrics", "health"])
+    def test_malformed_dump_one_line_error(self, tmp_path, capsys, command):
+        dump = tmp_path / "broken.json"
+        dump.write_text('{"metrics": ')
+        assert main([command, str(dump)]) == 1
+        err = capsys.readouterr().err
+        assert "is not valid JSON" in err
+        assert len(err.strip().splitlines()) == 1
+
+    @pytest.mark.parametrize("command", ["metrics", "health"])
+    def test_non_object_dump_one_line_error(self, tmp_path, capsys, command):
+        dump = tmp_path / "list.json"
+        dump.write_text("[1, 2, 3]")
+        assert main([command, str(dump)]) == 1
+        assert "expected a --metrics-dump JSON object" in (
+            capsys.readouterr().err
+        )
+
+    def test_health_missing_section_one_line_error(self, tmp_path, capsys):
+        dump = tmp_path / "old-format.json"
+        dump.write_text('{"metrics": {}, "flight": []}')
+        assert main(["health", str(dump)]) == 1
+        assert "no health report" in capsys.readouterr().err
+
+    def test_real_dump_renders_metrics_and_health(self, tmp_path, capsys):
+        dump = self._dump(tmp_path, capsys)
+        assert main(["metrics", str(dump)]) == 0
+        out = capsys.readouterr().out
+        assert "ingest.index_seconds" in out
+        assert main(["health", str(dump)]) == 0
+        out = capsys.readouterr().out
+        for component in ("chain", "engine", "aggregates", "views", "cache"):
+            assert component in out
+
+
+class TestDoctorCommand:
+    def _build_state(self, tmp_path, capsys):
+        exit_code = main(
+            ["serve", "--scenario", "micro", "--seed", "3",
+             "--state-dir", str(tmp_path), "--generate", "10"]
+        )
+        assert exit_code == 0
+        capsys.readouterr()
+
+    def test_clean_state_dir_exits_zero(self, tmp_path, capsys):
+        self._build_state(tmp_path, capsys)
+        report_path = tmp_path / "diagnosis.json"
+        exit_code = main(
+            ["doctor", "--state-dir", str(tmp_path),
+             "--report", str(report_path)]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "result: HEALTHY" in out
+        assert "audit: clean" in out
+        import json
+
+        payload = json.loads(report_path.read_text())
+        assert payload["ok"] is True
+
+    def test_flipped_byte_exits_nonzero(self, tmp_path, capsys):
+        self._build_state(tmp_path, capsys)
+        segment = sorted((tmp_path / "snapshots").glob("snap-*/*.seg"))[0]
+        data = bytearray(segment.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        segment.write_bytes(bytes(data))
+        exit_code = main(["doctor", "--state-dir", str(tmp_path)])
+        assert exit_code == 1
+        out = capsys.readouterr().out
+        assert "PROBLEM" in out
+        assert "result: PROBLEMS FOUND" in out
+
+    def test_empty_dir_exits_nonzero(self, tmp_path, capsys):
+        assert main(["doctor", "--state-dir", str(tmp_path)]) == 1
+        assert "no snapshots directory" in capsys.readouterr().out
+
+
+class TestLogJson:
+    def test_query_log_json_writes_events(self, tmp_path, capsys):
+        """With an instrumented rebuild (--metrics-dump) the chain is
+        re-ingested, so the event log carries per-block events."""
+        import json
+
+        log_path = tmp_path / "events.jsonl"
+        exit_code = main(
+            ["query", "--scenario", "micro", "--seed", "3",
+             "--log-json", str(log_path),
+             "--metrics-dump", str(tmp_path / "metrics.json"),
+             "top-clusters", "3", "balance"]
+        )
+        assert exit_code == 0
+        capsys.readouterr()
+        events = [
+            json.loads(line)["event"]
+            for line in log_path.read_text().splitlines()
+        ]
+        assert "block_ingested" in events
+        assert "aggregate_flush" in events
+
+
 class TestSimulateCommand:
     def test_simulate_micro_writes_block_files(self, tmp_path, capsys):
         exit_code = main(
