@@ -49,6 +49,12 @@ class Peel:
     aggregation resolves entities by id; the string is the reporting
     edge."""
 
+    spent_height: int | None = None
+    """Height at which the recipient spent this peel output, or ``None``
+    while it sits unspent.  The spend is the first on-chain evidence of
+    who owns the peel (a sweep co-spends it with the recipient's other
+    deposits), so it is the natural horizon for naming the recipient."""
+
 
 @dataclass
 class PeelHop:
@@ -176,6 +182,7 @@ class PeelingTracker:
                         address=hop.change_address,
                         value=hop.remaining_value,
                         address_id=self._peel_id(hop.change_address),
+                        spent_height=self._spent_height(tx.txid, 0),
                     )
                 ]
                 hop.change_address = None
@@ -246,6 +253,7 @@ class PeelingTracker:
                     address=address,
                     value=out.value,
                     address_id=self._peel_id(address),
+                    spent_height=self._spent_height(tx.txid, vout),
                 )
             )
         hop = PeelHop(
@@ -263,6 +271,13 @@ class PeelingTracker:
         """Interned id for a peel recipient (-1 if never interned)."""
         ident = self._interner_id_of(address)
         return -1 if ident is None else ident
+
+    def _spent_height(self, txid: bytes, vout: int) -> int | None:
+        """Height at which the peel output was spent, if it has been."""
+        spender = self.index.spender_of(OutPoint(txid, vout))
+        if spender is None:
+            return None
+        return self.index.location(spender[0]).height
 
     def _peel_shape_vout(self, tx: Transaction) -> int | None:
         """The remainder output under the peel-shape rule, or None."""
@@ -287,7 +302,7 @@ class ServicePeelSummary:
 
 
 def summarize_peels_by_entity(
-    chain: PeelChain, name_of_address, *, name_of_id=None
+    chain: PeelChain, name_of_address, *, name_of_id=None, name_of_peel=None
 ) -> dict[str, ServicePeelSummary]:
     """Aggregate a chain's peels per named recipient entity.
 
@@ -297,12 +312,17 @@ def summarize_peels_by_entity(
     ``name_of_id`` (e.g.
     :meth:`~repro.tagging.naming.ClusterNaming.name_of_address_id`) to
     resolve interned peels by dense id instead of re-hashing address
-    strings.
+    strings.  ``name_of_peel`` takes precedence over both: a callable
+    over the whole :class:`Peel` (typically
+    :meth:`repro.pipeline.AnalystView.name_of_peel`), for namers that
+    use the peel's height or spend height, not just its address.
     """
     counts: dict[str, int] = {}
     values: dict[str, int] = {}
     for peel in chain.peels:
-        if name_of_id is not None and peel.address_id >= 0:
+        if name_of_peel is not None:
+            entity = name_of_peel(peel)
+        elif name_of_id is not None and peel.address_id >= 0:
             entity = name_of_id(peel.address_id)
         else:
             entity = name_of_address(peel.address)

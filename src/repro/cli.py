@@ -111,6 +111,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="durable state directory: warm-start from its newest snapshot",
     )
     query.add_argument(
+        "--blocks-only",
+        action="store_true",
+        help=(
+            "trust the state dir's blocks/blk*.dat outright and skip the "
+            "world build entirely (requires --state-dir with a snapshot "
+            "from a previous full run)"
+        ),
+    )
+    query.add_argument(
         "--metrics-dump",
         type=Path,
         default=None,
@@ -147,6 +156,15 @@ def _build_parser() -> argparse.ArgumentParser:
         type=Path,
         default=None,
         help="durable state directory: warm-start from its newest snapshot",
+    )
+    serve.add_argument(
+        "--blocks-only",
+        action="store_true",
+        help=(
+            "trust the state dir's blocks/blk*.dat outright and skip the "
+            "world build entirely (requires --state-dir with a snapshot "
+            "from a previous full run)"
+        ),
     )
     serve.add_argument(
         "--script",
@@ -322,7 +340,9 @@ def _open_logger(args):
 
 def _service_for(args, world, log=None):
     """The serving-layer service for ``query``/``serve``: a plain warm
-    build, or a durable warm start when ``--state-dir`` is given.
+    build, a durable warm start when ``--state-dir`` is given, or a
+    restore that trusts the on-disk block files (``world`` unused and
+    may be ``None``) with ``--blocks-only``.
 
     Returns ``(service, checkpoint, metrics)``: ``checkpoint``
     re-snapshots the (possibly mutated: new taint cases, tail growth)
@@ -338,6 +358,14 @@ def _service_for(args, world, log=None):
         if getattr(args, "metrics_dump", None) is not None
         else None
     )
+    if getattr(args, "blocks_only", False):
+        if args.state_dir is None:
+            raise SystemExit("error: --blocks-only requires --state-dir")
+        warm = experiments.warm_service_blocks_only(
+            args.state_dir, metrics=metrics, log=log
+        )
+        print(f"[state-dir {args.state_dir}: {warm.report}]")
+        return warm.service, warm.checkpoint, metrics
     if args.state_dir is None:
         if metrics is not None:
             service = experiments.instrumented_service(
@@ -392,7 +420,11 @@ def main(argv: list[str] | None = None) -> int:
         world = _SCENARIOS[args.scenario](seed=args.seed)
         print(experiments.run_cluster_timeseries(world).report)
     elif args.command == "query":
-        world = _SCENARIOS[args.scenario](seed=args.seed)
+        # --blocks-only serves straight from the state dir: the whole
+        # point is never paying the world simulation on a warm restart.
+        world = (
+            None if args.blocks_only else _SCENARIOS[args.scenario](seed=args.seed)
+        )
         log = _open_logger(args)
         try:
             service, checkpoint, metrics = _service_for(args, world, log=log)
@@ -411,7 +443,9 @@ def main(argv: list[str] | None = None) -> int:
             if log is not None:
                 log.close()
     elif args.command == "serve":
-        world = _SCENARIOS[args.scenario](seed=args.seed)
+        world = (
+            None if args.blocks_only else _SCENARIOS[args.scenario](seed=args.seed)
+        )
         log = _open_logger(args)
         service, checkpoint, metrics = _service_for(args, world, log=log)
         if args.script is not None:

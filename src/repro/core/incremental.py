@@ -196,6 +196,10 @@ class IncrementalClusteringEngine:
         wait-rule void recorded at ``v`` never changes ``active_at(h)``
         for ``h < v``.  This is what lets a serving layer ask for the
         tip clustering per query without re-materializing."""
+        self._h1_as_of_cache: OrderedDict[int, Clustering] = OrderedDict()
+        """Recently materialized ``cluster_h1_as_of`` answers.  Kept
+        separate from ``_as_of_cache`` so co-spend-only callers (peel
+        recipient naming) never evict full-heuristic horizons."""
         self._unsubscribe = None
         for height in range(index.height + 1):
             self._observe_delta(index.block_delta(height))
@@ -571,6 +575,7 @@ class IncrementalClusteringEngine:
             for deadline, seq, i in state["watch_heap"]
         ]
         engine._as_of_cache = OrderedDict()
+        engine._h1_as_of_cache = OrderedDict()
         engine._unsubscribe = None
         if len(engine._marks) != index.height + 1:
             raise ValueError(
@@ -683,6 +688,38 @@ class IncrementalClusteringEngine:
     _AS_OF_CACHE_SIZE = 4
     """Materialized horizons kept around; each holds an O(addresses)
     structure, so the memo is deliberately tiny."""
+
+    def cluster_h1_as_of(self, height: int | None = None) -> Clustering:
+        """The co-spend-only (Heuristic 1) partition as of ``height``.
+
+        Same checkpoint replay as :meth:`cluster_as_of` but without the
+        change-link overlay: only unions witnessed by actual co-spends.
+        This is the partition of record for naming *counterparties* —
+        a peel recipient's output is by construction not the spender's
+        change, so any change label claiming it contradicts the peel
+        classification, and settled cross-party change links are exactly
+        what drag recipients into the wrong cluster.
+        """
+        height = self._check_height(height)
+        if height is None:
+            return Clustering(
+                uf=InternedPartition(IntUnionFind(), self.index.interner),
+                heuristics="h1",
+            )
+        cached = self._h1_as_of_cache.get(height)
+        if cached is not None:
+            self._h1_as_of_cache.move_to_end(height)
+            return cached
+        uf = IntUnionFind(self._seen[height])
+        uf.replay(self._uf.log_prefix(self._marks[height]))
+        clustering = Clustering(
+            uf=InternedPartition(uf, self.index.interner),
+            heuristics="h1",
+        )
+        self._h1_as_of_cache[height] = clustering
+        while len(self._h1_as_of_cache) > self._AS_OF_CACHE_SIZE:
+            self._h1_as_of_cache.popitem(last=False)
+        return clustering
 
     def cluster_count_series(self) -> list[ClusterSnapshot]:
         """Cluster counts at *every* height, in one forward sweep.

@@ -342,10 +342,15 @@ class IntUnionFind:
         not mutate it."""
         return self._size
 
+    def root_ids(self) -> np.ndarray:
+        """All component roots (self-parented ids), ascending — one
+        vectorized scan, no per-id Python work."""
+        parent = self._parent.array
+        return np.nonzero(parent == np.arange(len(parent), dtype="<i8"))[0]
+
     def component_sizes(self) -> dict[int, int]:
         """``root -> component size`` (roots are self-parented ids)."""
-        parent = self._parent.array
-        roots = np.nonzero(parent == np.arange(len(parent), dtype="<i8"))[0]
+        roots = self.root_ids()
         sizes = self._size.array[roots]
         return dict(zip(roots.tolist(), sizes.tolist()))
 

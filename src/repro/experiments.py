@@ -436,6 +436,58 @@ def instrumented_service(
     return service
 
 
+def warm_service_blocks_only(
+    state_dir, *, retain: int = 3, metrics=None, log=None
+) -> WarmServiceResult:
+    """Warm-start a service from a state directory alone — no world.
+
+    ``warm_service`` re-simulates the whole scenario on every restart
+    just to validate the block files and extend them if the world grew;
+    on a pure serving restart that build dwarfs the restore it guards.
+    This path trusts ``<state_dir>/blocks/blk*.dat`` outright: restore
+    the newest snapshot, tail-replay the on-disk blocks past it, done.
+    It therefore *requires* a prior full run — a state directory with no
+    snapshot fails closed instead of silently standing up an untagged
+    service (tags, taint cases, and views all live in the snapshot).
+    """
+    from pathlib import Path
+
+    from .storage import StateStore, StorageError
+
+    state_dir = Path(state_dir)
+    blocks_dir = state_dir / "blocks"
+    if not blocks_dir.is_dir():
+        raise StorageError(
+            f"no block files under {blocks_dir}; --blocks-only needs a "
+            f"state directory written by a previous full run"
+        )
+    store = StateStore(state_dir / "snapshots", metrics=metrics, log=log)
+    start = time.perf_counter()
+    if store.latest() is None:
+        raise StorageError(
+            f"no snapshot under {state_dir}; --blocks-only can only "
+            f"restore, not build — run once without it to write the "
+            f"baseline snapshot"
+        )
+    warm = store.warm_start(blocks_dir)
+    store.prune(retain)
+    seconds = time.perf_counter() - start
+    return WarmServiceResult(
+        service=warm.service,
+        store=store,
+        cold=False,
+        snapshot_height=warm.snapshot_height,
+        tail_blocks=warm.tail_blocks,
+        seconds=seconds,
+        report=(
+            f"blocks-only warm start: restored snapshot at height "
+            f"{warm.snapshot_height} + {warm.tail_blocks} tail blocks -> "
+            f"height {warm.service.height} ({seconds:.2f}s, world build "
+            f"skipped)"
+        ),
+    )
+
+
 def warm_service(
     world: World, state_dir, *, retain: int = 3, metrics=None, log=None
 ) -> WarmServiceResult:
@@ -574,7 +626,6 @@ def run_table2(world: World | None = None, *, seed: int = 1) -> Table2Result:
     view = AnalystView.build(world)
     hoard = world.extras["hoard"]
     tracker = view.peeling_tracker()
-    known = view.naming.name_of_address
     exchange_entities = view.entities_in_category("exchanges") | (
         view.entities_in_category("fixed")
     )
@@ -583,8 +634,14 @@ def run_table2(world: World | None = None, *, seed: int = 1) -> Table2Result:
     exchange_value = 0
     for head in hoard.state.chain_start_addresses:
         chain = tracker.follow_address(head, max_hops=100)
+        # Recipients are named from the co-spend partition as of each
+        # peel's spend height — the tip full partition retroactively
+        # mislabels peels once a change-heuristic false positive bridges
+        # a recipient's wallet into a service cluster.
         summary = summarize_peels_by_entity(
-            chain, known, name_of_id=view.naming.name_of_address_id
+            chain,
+            view.naming.name_of_address,
+            name_of_peel=view.name_of_peel,
         )
         # Drop user names: the paper can only name services.
         summary = {

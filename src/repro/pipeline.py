@@ -120,6 +120,49 @@ class AnalystView:
         """Entities the analyst has tags for."""
         return self.tags.entities()
 
+    @cached_property
+    def _peel_naming_by_height(self) -> dict:
+        """Memoized co-spend-only namings, keyed by horizon height."""
+        return {}
+
+    def peel_naming_as_of(self, height: int | None = None) -> ClusterNaming:
+        """Tags propagated over the co-spend-only partition as of
+        ``height`` (``None`` means the chain tip).
+
+        Recipient naming deliberately excludes Heuristic 2: a peel
+        output is, by the tracker's own classification, *not* the
+        spender's change, so a change label claiming it (or bridging its
+        owner's wallet into the spender's cluster) is contradictory
+        evidence.  Every known peel mislabel traced back to exactly such
+        a settled cross-party change link; co-spend unions cannot cross
+        owners.  The horizon replays from the incremental engine's
+        per-height checkpoints, so asking at many heights is cheap.
+        """
+        key = self.world.index.height if height is None else height
+        naming = self._peel_naming_by_height.get(key)
+        if naming is None:
+            naming = ClusterNaming(
+                self.incremental.cluster_h1_as_of(key), self.tags
+            )
+            self._peel_naming_by_height[key] = naming
+        return naming
+
+    def name_of_peel(self, peel) -> str | None:
+        """Entity name for a peel recipient, or ``None`` when unnamed.
+
+        Named from the co-spend partition as of the height the recipient
+        spent the peel (the first on-chain evidence of ownership: the
+        sweep co-spends it with the recipient's other deposits) —
+        falling back to the analysis tip for still-unspent outputs.
+        Naming from the tip *full* partition instead mislabeled ~15% of
+        named peels: later change-heuristic false positives retroactively
+        renamed past peels (see :meth:`peel_naming_as_of`).
+        """
+        naming = self.peel_naming_as_of(peel.spent_height)
+        if peel.address_id >= 0:
+            return naming.name_of_address_id(peel.address_id)
+        return naming.name_of_address(peel.address)
+
     # ------------------------------------------------------------------
     # analysis tools, pre-wired
     # ------------------------------------------------------------------

@@ -48,6 +48,7 @@ batch ``_agg`` rebuild, and what makes ranking tie-breaks stable (see
 from __future__ import annotations
 
 from bisect import bisect_left, insort
+from collections import OrderedDict
 from dataclasses import dataclass
 from time import perf_counter
 
@@ -83,25 +84,62 @@ class RankIndex:
     canonical cluster id.  Updates cost O(log n) to locate plus a
     C-level ``memmove``; reads are slices (:meth:`top`) or a bisect
     (:meth:`rank_of`) — no per-block re-sort anywhere.
+
+    Two backings share this interface.  The live tip view mutates, so
+    it carries the key list and value map.  A settled horizon state is
+    immutable and serves only a ``top(n)`` slice or a single-id
+    ``rank_of``, so :meth:`from_columns` keeps just the two lexsorted
+    numpy columns (``_neg``, ``_cid``) and never pays the
+    list-of-tuples / dict materialization; a point lookup is one
+    C-level equality scan.  Mutators materialize the list backing on
+    first touch, so the distinction never leaks.
     """
 
-    __slots__ = ("_keys", "_values")
+    __slots__ = ("_keys", "_values", "_neg", "_cid")
 
     def __init__(self) -> None:
         self._keys: list[tuple[int, int]] = []
         self._values: dict[int, int] = {}
+        self._neg: np.ndarray | None = None
+        self._cid: np.ndarray | None = None
+
+    def _materialize(self) -> None:
+        """Switch an array-backed index to the mutable list backing."""
+        if self._neg is None:
+            return
+        negs, cids = self._neg, self._cid
+        self._keys = list(zip(negs.tolist(), cids.tolist()))
+        self._values = dict(zip(cids.tolist(), np.negative(negs).tolist()))
+        self._neg = None
+        self._cid = None
+
+    def _position_of(self, cluster_id: int) -> int:
+        """Array backing: 0-based rank of ``cluster_id``, or -1.
+
+        Ids are unique, so one vectorized equality scan finds the
+        cluster's (single) slot — no value map needed."""
+        hits = np.nonzero(self._cid == cluster_id)[0]
+        return int(hits[0]) if len(hits) else -1
 
     def __len__(self) -> int:
+        if self._neg is not None:
+            return len(self._neg)
         return len(self._keys)
 
     def __contains__(self, cluster_id: int) -> bool:
+        if self._neg is not None:
+            return self._position_of(cluster_id) >= 0
         return cluster_id in self._values
 
     def value_of(self, cluster_id: int) -> int | None:
+        if self._neg is not None:
+            position = self._position_of(cluster_id)
+            return -int(self._neg[position]) if position >= 0 else None
         return self._values.get(cluster_id)
 
     def set(self, cluster_id: int, value: int) -> None:
         """Insert or move one cluster's entry."""
+        self._materialize()
         old = self._values.get(cluster_id)
         if old == value:
             return
@@ -112,16 +150,58 @@ class RankIndex:
 
     def discard(self, cluster_id: int) -> None:
         """Drop one cluster's entry (no-op when absent)."""
+        self._materialize()
         old = self._values.pop(cluster_id, None)
         if old is not None:
             del self._keys[bisect_left(self._keys, (-old, cluster_id))]
 
+    def apply(self, discards, updates) -> None:
+        """Bulk churn: drop ``discards`` ids, then upsert ``updates``
+        ``(cluster id, value)`` pairs.
+
+        Small batches walk the incremental :meth:`set`/:meth:`discard`
+        path; a batch comparable to the index itself rewrites the value
+        map and re-sorts once — O(n log n) beats thousands of O(n)
+        list memmoves, which is the regime deferred time-travel
+        finalization lands in."""
+        self._materialize()
+        if len(discards) + len(updates) < max(64, len(self._keys) // 8):
+            for cluster_id in discards:
+                self.discard(cluster_id)
+            for cluster_id, value in updates:
+                self.set(cluster_id, value)
+            return
+        values = self._values
+        for cluster_id in discards:
+            values.pop(cluster_id, None)
+        values.update(updates)
+        if not values:
+            self._keys = []
+            return
+        cids = np.fromiter(values.keys(), dtype="<i8", count=len(values))
+        negs = np.fromiter(values.values(), dtype="<i8", count=len(values))
+        np.negative(negs, out=negs)
+        order = np.lexsort((cids, negs))
+        self._keys = list(
+            zip(negs[order].tolist(), cids[order].tolist())
+        )
+
     def top(self, n: int) -> tuple[tuple[int, int], ...]:
         """The best ``n`` entries as ``(cluster id, value)`` pairs."""
+        if self._neg is not None:
+            return tuple(
+                zip(
+                    self._cid[:n].tolist(),
+                    np.negative(self._neg[:n]).tolist(),
+                )
+            )
         return tuple((cid, -neg) for neg, cid in self._keys[:n])
 
     def rank_of(self, cluster_id: int) -> int | None:
         """1-based rank of one cluster, or ``None`` if not ranked."""
+        if self._neg is not None:
+            position = self._position_of(cluster_id)
+            return position + 1 if position >= 0 else None
         value = self._values.get(cluster_id)
         if value is None:
             return None
@@ -129,11 +209,47 @@ class RankIndex:
 
     def as_ranking(self) -> ClusterRanking:
         """Materialize the full, immutable per-height ranking object."""
-        order = tuple((cid, -neg) for neg, cid in self._keys)
+        if self._neg is not None:
+            order = tuple(
+                zip(self._cid.tolist(), np.negative(self._neg).tolist())
+            )
+        else:
+            order = tuple((cid, -neg) for neg, cid in self._keys)
         return ClusterRanking(
             order=order,
             rank_of={cid: rank for rank, (cid, _value) in enumerate(order, 1)},
         )
+
+    def copy(self) -> "RankIndex":
+        """An independent copy (checkpoint material for time travel)."""
+        clone = RankIndex.__new__(RankIndex)
+        if self._neg is not None:
+            clone._keys = []
+            clone._values = {}
+            clone._neg = self._neg.copy()
+            clone._cid = self._cid.copy()
+            return clone
+        clone._keys = list(self._keys)
+        clone._values = dict(self._values)
+        clone._neg = None
+        clone._cid = None
+        return clone
+
+    @classmethod
+    def from_columns(cls, cluster_ids, values) -> "RankIndex":
+        """Build wholesale from parallel id/value numpy columns — one
+        lexsort, stored as the array backing (the time-travel settle
+        path; ids must be unique)."""
+        index = cls.__new__(cls)
+        vals = np.asarray(values, dtype="<i8")
+        cids = np.asarray(cluster_ids, dtype="<i8")
+        negs = np.negative(vals)
+        order = np.lexsort((cids, negs))
+        index._keys = []
+        index._values = {}
+        index._neg = negs[order]
+        index._cid = cids[order]
+        return index
 
 
 @dataclass(frozen=True)
@@ -151,6 +267,432 @@ class _OverlayGroup:
     tx_count: int
     first_seen: int
     last_seen: int
+
+
+@dataclass(frozen=True, slots=True)
+class _HeightRecord:
+    """One folded height's entry in the aggregate delta log.
+
+    The time-travel analog of :class:`BalanceView`'s per-height event
+    log: everything a replay needs to advance a materialized
+    :class:`_HorizonState` from height ``h-1`` to ``h`` without
+    re-reading the chain.  Base merges are *not* stored here — ``mark``
+    is the base union-find's log position after the height's folds, so
+    the merge span is read off the live base's own (append-only) log.
+    Columnar churn buffers are the block delta's arrays, retained by
+    reference like :class:`~repro.service.views.BalanceView` retains its
+    event columns.  Label transitions reference the engine's live label
+    objects (identity-shared; replay reads only the immutable
+    ``address_id``/``input_id`` fields).
+    """
+
+    height: int
+    max_id: int
+    """Universe bound at this height (ids are dense, so ``max_id + 1``
+    is the prefix universe)."""
+    mark: int
+    """Base merge-log position after this height's unions folded."""
+    born_open: tuple
+    """Labels born at this height whose §4.2 window is open (overlay
+    entries until voided or settled)."""
+    closed: tuple
+    """Labels voided or settled at this height (they leave the open
+    overlay set; a settle's permanent link is inside the merge span)."""
+    event_ids: np.ndarray
+    event_values: np.ndarray
+    involved_flat: np.ndarray
+
+
+class _HorizonState:
+    """The full aggregate state materialized at one historical height.
+
+    A checkpoint (or replay scratch) for time travel: the base
+    partition, the five per-root fold arrays, the per-address
+    balance/activity arrays (so historical ``cluster_profile`` answers
+    carry as-of-height address fields too), the open-label overlay, and
+    the three rank indexes.  Advancing to the next height replays one
+    :class:`_HeightRecord`; serving always advances a :meth:`clone`, so
+    materialized checkpoints are never mutated.
+    """
+
+    __slots__ = (
+        "height", "mark", "uf",
+        "balance", "tx_count", "first", "last", "min_member",
+        "a_balance", "a_tx_count", "a_first", "a_last",
+        "open", "groups", "group_of", "ranks", "derived_dirty",
+    )
+
+    def __init__(self) -> None:
+        self.height = -1
+        self.mark = 0
+        self.uf = IntUnionFind()
+        self.balance = IntVector()
+        self.tx_count = IntVector()
+        self.first = IntVector()
+        self.last = IntVector()
+        self.min_member = IntVector()
+        self.a_balance = IntVector()
+        self.a_tx_count = IntVector()
+        self.a_first = IntVector()
+        self.a_last = IntVector()
+        self.open: set = set()
+        self.groups: list[_OverlayGroup] = []
+        self.group_of: dict[int, _OverlayGroup] = {}
+        self.ranks: dict[str, RankIndex] = {
+            metric: RankIndex() for metric in TOP_CLUSTER_METRICS
+        }
+        self.derived_dirty = True
+        """True while ``groups``/``group_of``/``ranks`` lag the base
+        state — replay advances only the base folds and :meth:`settle`
+        rebuilds the derived structures wholesale at serve time."""
+
+    def clone(self) -> "_HorizonState":
+        """An independent copy of the *base* state — array memcpys plus
+        container copies, never a per-id Python loop.
+
+        The derived structures (overlay groups, rank indexes) are NOT
+        copied: every clone exists to be advanced by replay, which
+        invalidates them anyway, and the served height rebuilds them
+        wholesale via :meth:`settle`.  The clone starts dirty."""
+        clone = _HorizonState.__new__(_HorizonState)
+        clone.height = self.height
+        clone.mark = self.mark
+        clone.uf = self.uf.copy()
+        clone.balance = self.balance.copy()
+        clone.tx_count = self.tx_count.copy()
+        clone.first = self.first.copy()
+        clone.last = self.last.copy()
+        clone.min_member = self.min_member.copy()
+        clone.a_balance = self.a_balance.copy()
+        clone.a_tx_count = self.a_tx_count.copy()
+        clone.a_first = self.a_first.copy()
+        clone.a_last = self.a_last.copy()
+        clone.open = set(self.open)
+        clone.groups = []
+        clone.group_of = {}
+        clone.ranks = {metric: RankIndex() for metric in TOP_CLUSTER_METRICS}
+        clone.derived_dirty = True
+        return clone
+
+    def settle(self) -> None:
+        """(Re)build the derived structures — overlay groups and rank
+        indexes — wholesale from the settled base folds.
+
+        Replay (:meth:`ClusterAggregateView._tt_advance`) maintains only
+        the base partition and fold arrays; this pays the whole derived
+        epilogue exactly once per *served* height: one vectorized pass
+        gathers every component's fold columns, one lexsort per metric
+        builds its rank index, and every overlay group re-aggregates its
+        few member roots.  That beats maintaining the derived state
+        incrementally across N replayed heights by the depth of the
+        replay.  Idempotent; a clean state returns immediately."""
+        if not self.derived_dirty:
+            return
+        uf = self.uf
+        self.groups = []
+        self.group_of = {}
+        open_links = [
+            live for live in self.open if live.input_id is not None
+        ]
+        if open_links:
+            owners = uf.find_many(
+                np.fromiter(
+                    (live.address_id for live in open_links),
+                    dtype="<i8",
+                    count=len(open_links),
+                )
+            )
+            spenders = uf.find_many(
+                np.fromiter(
+                    (live.input_id for live in open_links),
+                    dtype="<i8",
+                    count=len(open_links),
+                )
+            )
+            self._settle_overlay(owners, spenders)
+        roots = uf.root_ids()
+        if self.group_of:
+            ungrouped = np.ones(len(uf), dtype=bool)
+            ungrouped[
+                np.fromiter(
+                    self.group_of, dtype="<i8", count=len(self.group_of)
+                )
+            ] = False
+            roots = roots[ungrouped[roots]]
+        cids = self.min_member.array[roots]
+        sizes = uf.root_sizes.array[roots]
+        balances = self.balance.array[roots]
+        tx_counts = self.tx_count.array[roots]
+        if self.groups:
+            groups = self.groups
+            cids = np.concatenate(
+                (cids, [group.cid for group in groups])
+            )
+            sizes = np.concatenate(
+                (sizes, [group.size for group in groups])
+            )
+            balances = np.concatenate(
+                (balances, [group.balance for group in groups])
+            )
+            tx_counts = np.concatenate(
+                (tx_counts, [group.tx_count for group in groups])
+            )
+        positive_balance = balances > 0
+        active = tx_counts > 0
+        self.ranks = {
+            "size": RankIndex.from_columns(cids, sizes),
+            "balance": RankIndex.from_columns(
+                cids[positive_balance], balances[positive_balance]
+            ),
+            "activity": RankIndex.from_columns(
+                cids[active], tx_counts[active]
+            ),
+        }
+        self.derived_dirty = False
+
+    def _settle_overlay(
+        self, owners: np.ndarray, spenders: np.ndarray
+    ) -> None:
+        """Vectorized overlay grouping for :meth:`settle`, matching
+        :meth:`ClusterAggregateView._build_overlay`'s aggregation.
+
+        The open-link pair graph is tiny (one edge per open label), so
+        components come from a scalar union-find over its roots; every
+        per-group quantity — sorted member tuple, fold sums, seen-range
+        extremes, canonical id — is then a ``reduceat`` over one
+        lexsorted gather instead of a per-root Python read."""
+        parent: dict[int, int] = {}
+        get = parent.get
+
+        def gfind(item: int) -> int:
+            root = item
+            while True:
+                above = get(root, root)
+                if above == root:
+                    break
+                root = above
+            while item != root:
+                parent[item], item = root, parent[item]
+            return root
+
+        for ra, rb in zip(owners.tolist(), spenders.tolist()):
+            if ra == rb:
+                continue
+            if ra not in parent:
+                parent[ra] = ra
+            if rb not in parent:
+                parent[rb] = rb
+            fa = gfind(ra)
+            fb = gfind(rb)
+            if fa != fb:
+                parent[fb] = fa
+        if not parent:
+            return
+        items = np.fromiter(parent, dtype="<i8", count=len(parent))
+        labels = np.fromiter(
+            (gfind(item) for item in parent), dtype="<i8", count=len(parent)
+        )
+        order = np.lexsort((items, labels))
+        members = items[order]
+        grouped = labels[order]
+        starts = np.nonzero(
+            np.concatenate(([True], grouped[1:] != grouped[:-1]))
+        )[0]
+        sizes = np.add.reduceat(self.uf.root_sizes.array[members], starts)
+        balances = np.add.reduceat(self.balance.array[members], starts)
+        tx_counts = np.add.reduceat(self.tx_count.array[members], starts)
+        cids = np.minimum.reduceat(self.min_member.array[members], starts)
+        lasts = np.maximum.reduceat(self.last.array[members], starts)
+        unseen = np.iinfo("<i8").max
+        firsts = self.first.array[members].copy()
+        firsts[firsts < 0] = unseen
+        firsts = np.minimum.reduceat(firsts, starts)
+        firsts[firsts == unseen] = -1
+        bounds = starts.tolist()
+        bounds.append(len(members))
+        member_list = members.tolist()
+        groups: list[_OverlayGroup] = []
+        group_of: dict[int, _OverlayGroup] = {}
+        rows = zip(
+            cids.tolist(), sizes.tolist(), balances.tolist(),
+            tx_counts.tolist(), firsts.tolist(), lasts.tolist(),
+        )
+        for i, (cid, size, balance, tx_count, first, last) in enumerate(rows):
+            roots_key = tuple(member_list[bounds[i]:bounds[i + 1]])
+            group = _OverlayGroup(
+                cid=cid,
+                roots=roots_key,
+                size=size,
+                balance=balance,
+                tx_count=tx_count,
+                first_seen=first,
+                last_seen=last,
+            )
+            groups.append(group)
+            for root in roots_key:
+                group_of[root] = group
+        self.groups = groups
+        self.group_of = group_of
+
+
+def _refresh_rank_indexes(
+    ranks: dict[str, RankIndex],
+    old_cids: set[int],
+    new_entries: list[tuple[int, int, int, int]],
+) -> None:
+    """Rank churn shared by live flushes and time-travel replay (same
+    inclusion rule as the batch builders: ``size`` ranks everything,
+    ``balance``/``activity`` only positive totals).  Batched per metric
+    so a large refresh (a deferred time-travel finalize) takes each
+    index's one-sort bulk path instead of per-entry memmoves."""
+    new_cids = {entry[0] for entry in new_entries}
+    gone = old_cids - new_cids
+    size_updates: list[tuple[int, int]] = []
+    balance_discards: list[int] = list(gone)
+    balance_updates: list[tuple[int, int]] = []
+    activity_discards: list[int] = list(gone)
+    activity_updates: list[tuple[int, int]] = []
+    for cid, size, balance, tx_count in new_entries:
+        size_updates.append((cid, size))
+        if balance > 0:
+            balance_updates.append((cid, balance))
+        else:
+            balance_discards.append(cid)
+        if tx_count > 0:
+            activity_updates.append((cid, tx_count))
+        else:
+            activity_discards.append(cid)
+    ranks["size"].apply(gone, size_updates)
+    ranks["balance"].apply(balance_discards, balance_updates)
+    ranks["activity"].apply(activity_discards, activity_updates)
+
+
+class HorizonAggregates:
+    """Read-only cluster-aggregate surface at one historical height.
+
+    Returned by :meth:`ClusterAggregateView.horizon`; exposes the same
+    query methods the live view serves at the tip, plus the per-address
+    reads a historical ``cluster_profile`` needs, all against a replayed
+    :class:`_HorizonState`.  Instances share materialized states with
+    the view's checkpoint spine and memo — strictly read-only.
+    """
+
+    __slots__ = ("_state",)
+
+    def __init__(self, state: _HorizonState) -> None:
+        self._state = state
+
+    @property
+    def height(self) -> int:
+        return self._state.height
+
+    def cluster_id_of(self, ident: int | None) -> int | None:
+        state = self._state
+        if ident is None or not 0 <= ident < len(state.uf):
+            return None
+        root = state.uf.find(ident)
+        group = state.group_of.get(root)
+        return group.cid if group is not None else state.min_member[root]
+
+    def cluster_placements_of(
+        self, idents
+    ) -> list[tuple[int, int] | None]:
+        state = self._state
+        universe = len(state.uf)
+        find = state.uf.find
+        overlay_get = state.group_of.get
+        min_member = state.min_member
+        out: list[tuple[int, int] | None] = []
+        append = out.append
+        for ident in idents:
+            if ident is None or not 0 <= ident < universe:
+                append(None)
+                continue
+            root = find(ident)
+            group = overlay_get(root)
+            append(
+                (root, group.cid if group is not None else min_member[root])
+            )
+        return out
+
+    def _locate(self, cluster_id: int) -> tuple[int, _OverlayGroup | None]:
+        state = self._state
+        if not 0 <= cluster_id < len(state.uf):
+            raise KeyError(cluster_id)
+        root = state.uf.find(cluster_id)
+        return root, state.group_of.get(root)
+
+    def size_of_cluster(self, cluster_id: int) -> int:
+        root, group = self._locate(cluster_id)
+        return (
+            group.size if group is not None else self._state.uf.size_of(root)
+        )
+
+    def balance_of_cluster(self, cluster_id: int) -> int:
+        root, group = self._locate(cluster_id)
+        return (
+            group.balance if group is not None else self._state.balance[root]
+        )
+
+    def activity_of_cluster(self, cluster_id: int) -> ClusterActivity | None:
+        root, group = self._locate(cluster_id)
+        if group is not None:
+            if not group.tx_count:
+                return None
+            return ClusterActivity(
+                tx_count=group.tx_count,
+                first_seen=group.first_seen,
+                last_seen=group.last_seen,
+            )
+        state = self._state
+        if not state.tx_count[root]:
+            return None
+        return ClusterActivity(
+            tx_count=state.tx_count[root],
+            first_seen=state.first[root],
+            last_seen=state.last[root],
+        )
+
+    def _rank_index(self, by: str) -> RankIndex:
+        rank_index = self._state.ranks.get(by)
+        if rank_index is None:
+            raise ValueError(
+                f"ranking metric must be one of {TOP_CLUSTER_METRICS}"
+            )
+        return rank_index
+
+    def top(self, n: int, by: str) -> tuple[tuple[int, int], ...]:
+        return self._rank_index(by).top(n)
+
+    def rank_of(self, by: str, cluster_id: int) -> int | None:
+        return self._rank_index(by).rank_of(cluster_id)
+
+    def ranking(self, by: str) -> ClusterRanking:
+        return self._rank_index(by).as_ranking()
+
+    @property
+    def cluster_count(self) -> int:
+        return len(self._state.ranks["size"])
+
+    # -- per-address reads (historical profile fields) -----------------
+
+    def balance_of_id(self, ident: int) -> int:
+        state = self._state
+        if 0 <= ident < len(state.a_balance):
+            return state.a_balance[ident]
+        return 0
+
+    def tx_count_of_id(self, ident: int) -> int:
+        state = self._state
+        if 0 <= ident < len(state.a_tx_count):
+            return state.a_tx_count[ident]
+        return 0
+
+    def seen_range_of_id(self, ident: int) -> tuple[int, int] | None:
+        state = self._state
+        if 0 <= ident < len(state.a_first) and state.a_first[ident] >= 0:
+            return state.a_first[ident], state.a_last[ident]
+        return None
 
 
 class DirtyRootCursor:
@@ -210,6 +752,16 @@ class ClusterAggregateView(MaterializedView):
 
     OBSERVER_NAME = "aggregates"
 
+    _TT_INTERVAL = 16
+    """Checkpoint spine spacing: replaying to any height crosses at
+    most this many records once the spine is warm.  Spacing trades
+    checkpoint memory for replay depth; with the overlay/rank epilogue
+    deferred to serve time, short replays are cheap enough that a dense
+    spine pays for itself immediately under scrubbing workloads."""
+
+    _TT_MEMO_SIZE = 4
+    """Exact-height LRU depth (mirrors the engine's as-of memo)."""
+
     def __init__(
         self,
         index: ChainIndex,
@@ -217,6 +769,7 @@ class ClusterAggregateView(MaterializedView):
         engine: IncrementalClusteringEngine,
         follow: bool = True,
         use_kernels: bool = True,
+        time_travel: bool = True,
         metrics=None,
     ) -> None:
         self.engine = engine
@@ -260,6 +813,26 @@ class ClusterAggregateView(MaterializedView):
         self._default_naming_cursor: DirtyRootCursor | None = None
         """Backs cursor-less :meth:`drain_naming_dirty` calls (the
         pre-cursor single-consumer API), lazily registered."""
+        self.naming_epoch = 0
+        """Bumped once per drain that observed structural dirty roots:
+        name-bearing query answers depend on the canonical-id mapping as
+        well as the height, so caches key on ``(height, naming_epoch)``
+        for those kinds (see :meth:`QueryEngine._cache_key
+        <repro.service.queries.QueryEngine._cache_key>`)."""
+        self._tt_enabled = time_travel
+        self._tt_records: dict[int, _HeightRecord] = {}
+        """The per-height aggregate delta log, keyed by height."""
+        self._tt_base: _HorizonState | None = (
+            _HorizonState() if time_travel else None
+        )
+        """Oldest materialized state (genesis for a fresh view; the
+        restore height after a v2/v3 snapshot seeds it).  ``None`` means
+        time travel cannot serve yet."""
+        self._tt_spine: dict[int, _HorizonState] = {}
+        """Sparse checkpoints at :attr:`_TT_INTERVAL` multiples,
+        materialized lazily as replays first cross them."""
+        self._tt_memo: OrderedDict[int, _HorizonState] = OrderedDict()
+        """Exact-height LRU of recently served horizon states."""
         super().__init__(index, follow=follow, metrics=metrics)
 
     # ------------------------------------------------------------------
@@ -520,6 +1093,25 @@ class ClusterAggregateView(MaterializedView):
                 last[kept] = last[absorbed]
             if min_member[absorbed] < min_member[kept]:
                 min_member[kept] = min_member[absorbed]
+
+        # Delta-log capture: everything a horizon replay needs to cross
+        # this height.  The mark is taken *after* the block's unions, so
+        # ``(previous mark, mark]`` on the (append-only) base log is
+        # exactly this block's effective merges; the columnar churn
+        # buffers are retained by reference, BalanceView-style.
+        if self._tt_enabled:
+            self._tt_records[height] = _HeightRecord(
+                height=height,
+                max_id=delta.max_id,
+                mark=uf.checkpoint(),
+                born_open=tuple(
+                    live for live in churn.born if live.deadline is not None
+                ),
+                closed=tuple(churn.voided) + tuple(churn.settled),
+                event_ids=delta.event_ids,
+                event_values=delta.event_values,
+                involved_flat=delta.involved_flat,
+            )
 
         # 5. Per-address churn folded at the post-merge roots: balance
         #    deltas off the delta's flat event log, incidences off the
@@ -853,6 +1445,7 @@ class ClusterAggregateView(MaterializedView):
                 cursor = self._default_naming_cursor = self.naming_cursor()
         pending = self._naming_dirty
         if pending:
+            self.naming_epoch += 1
             for registered in self._naming_cursors:
                 registered.dirty |= pending
             self._naming_dirty = set()
@@ -932,6 +1525,340 @@ class ClusterAggregateView(MaterializedView):
         return len(self._ranks["size"])
 
     # ------------------------------------------------------------------
+    # time travel (historical horizons)
+    # ------------------------------------------------------------------
+
+    def covers(self, height: int) -> bool:
+        """True when :meth:`horizon` can serve ``height`` by replay —
+        the height is inside the delta log's materialized span."""
+        self._flush()
+        return (
+            self._tt_enabled
+            and self._tt_base is not None
+            and self._tt_base.height <= height <= self._height
+        )
+
+    def horizon(self, height: int) -> HorizonAggregates | None:
+        """The aggregate surface at a historical ``height``, or ``None``
+        when the delta log does not cover it (time travel disabled, or a
+        v2/v3 restore whose pre-restore history was never logged).
+
+        Replays forward from the nearest materialized state — the base,
+        a spine checkpoint, or a memoized exact height — applying one
+        :class:`_HeightRecord` per height crossed.  Spine checkpoints at
+        :attr:`_TT_INTERVAL` multiples are materialized the first time a
+        replay crosses them, so a warm view bounds any replay to one
+        interval of records instead of the whole log.
+        """
+        self._flush()
+        if not (
+            self._tt_enabled
+            and self._tt_base is not None
+            and self._tt_base.height <= height <= self._height
+        ):
+            return None
+        metrics = self.metrics
+        timed = metrics.enabled
+        memo = self._tt_memo
+        state = memo.get(height)
+        if state is not None:
+            memo.move_to_end(height)
+            if timed:
+                metrics.counter("timetravel.memo_hits").inc()
+            return HorizonAggregates(state)
+        if timed:
+            start = perf_counter()
+        best = self._tt_base
+        for spine_height, checkpoint in self._tt_spine.items():
+            if best.height < spine_height <= height:
+                best = checkpoint
+        for memo_height in memo:
+            if best.height < memo_height <= height:
+                best = memo[memo_height]
+        depth = height - best.height
+        if timed and depth < height - self._tt_base.height:
+            metrics.counter("timetravel.checkpoint_hits").inc()
+        if best.height == height:
+            state = best
+        else:
+            state = best.clone()
+            spine = self._tt_spine
+            records = self._tt_records
+            interval = self._TT_INTERVAL
+            while state.height < height:
+                self._tt_advance(state, records[state.height + 1])
+                crossed = state.height
+                if (
+                    crossed < height
+                    and crossed % interval == 0
+                    and crossed not in spine
+                ):
+                    spine[crossed] = state.clone()
+                    if timed:
+                        metrics.counter(
+                            "timetravel.checkpoints_materialized"
+                        ).inc()
+            memo[height] = state
+            while len(memo) > self._TT_MEMO_SIZE:
+                memo.popitem(last=False)
+        # Settle the deferred overlay/rank rebuild at the served height
+        # only — spine checkpoints stay lazy until directly served.
+        state.settle()
+        if timed:
+            seconds = perf_counter() - start
+            metrics.histogram(
+                "timetravel.replay_heights", buckets=COUNT_BUCKETS
+            ).observe(depth)
+            metrics.histogram("timetravel.replay_seconds").observe(seconds)
+            metrics.flight.record(
+                "timetravel",
+                height=height,
+                tip=self._height,
+                depth=depth,
+                seconds=seconds,
+            )
+        return HorizonAggregates(state)
+
+    def _tt_advance(self, state: _HorizonState, record: _HeightRecord) -> None:
+        """Advance one materialized state across one height record.
+
+        Mirrors the live flush's fold order — universe growth,
+        open-label transitions, merge folds, per-address churn — so a
+        replayed state at ``h`` is value-identical to the live view had
+        ingestion stopped at ``h``.  Merge folds read the live base's
+        log span ``(state.mark, record.mark]``: each entry's endpoints
+        are the exact roots at its application point, so stale canonical
+        ids read straight off ``min_member`` with no finds, and the span
+        replays onto the state's own union-find in O(1) per entry.
+
+        The flush epilogue (overlay rebuild + rank churn) is *deferred*:
+        only the served height's derived state is ever read, so replay
+        advances just the base folds and :meth:`_HorizonState.settle`
+        rebuilds the derived structures wholesale once per horizon
+        instead of once per height crossed.
+        """
+        height = record.height
+        uf = state.uf
+
+        # 1. Universe growth.
+        grown_from = len(uf)
+        if record.max_id >= grown_from:
+            n = record.max_id + 1
+            uf.ensure(n)
+            state.balance.grow_to(n)
+            state.tx_count.grow_to(n)
+            state.first.grow_to(n, fill=-1)
+            state.last.grow_to(n, fill=-1)
+            state.min_member.grow_to(n)
+            state.min_member.array[grown_from:] = np.arange(
+                grown_from, n, dtype="<i8"
+            )
+            state.a_balance.grow_to(n)
+            state.a_tx_count.grow_to(n)
+            state.a_first.grow_to(n, fill=-1)
+            state.a_last.grow_to(n, fill=-1)
+
+        # 2. Open-label transitions.
+        open_set = state.open
+        for live in record.born_open:
+            open_set.add(live)
+        for live in record.closed:
+            open_set.discard(live)
+
+        # 3. Merge folds off the base log span, sequentially: an entry's
+        #    ``kept`` may be absorbed by a later entry, so min_member
+        #    reads interleave with the folds exactly as the recorded
+        #    unions did.
+        span = self._uf.log_span(state.mark, record.mark)
+        min_member = state.min_member
+        balance = state.balance
+        tx_count = state.tx_count
+        first = state.first
+        last = state.last
+        for absorbed, kept in span:
+            balance[kept] += balance[absorbed]
+            tx_count[kept] += tx_count[absorbed]
+            first_absorbed = first[absorbed]
+            if first_absorbed >= 0 and (
+                first[kept] < 0 or first_absorbed < first[kept]
+            ):
+                first[kept] = first_absorbed
+            if last[absorbed] > last[kept]:
+                last[kept] = last[absorbed]
+            if min_member[absorbed] < min_member[kept]:
+                min_member[kept] = min_member[absorbed]
+        uf.replay(span)
+        state.mark = record.mark
+
+        # 4. Per-address churn at this height — the same kernel folds
+        #    the live views run, scattered into both the per-address
+        #    arrays and the per-root fold arrays at post-span roots.
+        find_many = uf.find_many
+        involved = record.involved_flat
+        if len(involved):
+            np.add.at(state.a_tx_count.array, involved, 1)
+            a_first = state.a_first.array
+            a_first[involved[a_first[involved] < 0]] = height
+            state.a_last.array[involved] = height
+            inv_roots = find_many(involved)
+            np.add.at(tx_count.array, inv_roots, 1)
+            uniq_roots = np.unique(inv_roots)
+            first_arr = first.array
+            # Heights replay in order, so a seen first is already the
+            # minimum; only the -1 sentinel takes this height.
+            first_arr[uniq_roots[first_arr[uniq_roots] < 0]] = height
+            last.array[uniq_roots] = height
+        if len(record.event_ids):
+            np.add.at(
+                state.a_balance.array, record.event_ids, record.event_values
+            )
+            np.add.at(
+                balance.array,
+                find_many(record.event_ids),
+                record.event_values,
+            )
+        state.derived_dirty = True
+        state.height = height
+
+    def seed_time_travel_base(self, balances, activity) -> None:
+        """Anchor the delta log at the view's *current* height from the
+        restored sibling views.
+
+        v2/v3 snapshots carry no time-travel segment: history below the
+        restore height is unrecoverable, but seeding a base checkpoint
+        here means every height from the restore point forward is logged
+        and served.  ``balances`` / ``activity`` are the service's
+        restored :class:`~repro.service.views.BalanceView` /
+        :class:`~repro.service.views.ActivityView` at the same height.
+        """
+        if not self._tt_enabled:
+            return
+        self._flush()
+        base = _HorizonState()
+        base.height = self._height
+        base.mark = self._uf.checkpoint()
+        base.uf = self._uf.copy()
+        base.balance = self._balance.copy()
+        base.tx_count = self._tx_count.copy()
+        base.first = self._first.copy()
+        base.last = self._last.copy()
+        base.min_member = self._min_member.copy()
+        n = len(base.uf)
+        # Sibling views grow off the same per-block max_id, so their
+        # arrays already span the universe; grow_to is belt-and-braces
+        # for an empty chain.
+        base.a_balance = balances._balances.copy()
+        base.a_balance.grow_to(n)
+        base.a_tx_count = activity._tx_counts.copy()
+        base.a_tx_count.grow_to(n)
+        base.a_first = activity._first_seen.copy()
+        base.a_first.grow_to(n, fill=-1)
+        base.a_last = activity._last_seen.copy()
+        base.a_last.grow_to(n, fill=-1)
+        base.open = set(self._open)
+        base.settle()
+        self._tt_base = base
+        self._tt_records = {}
+        self._tt_spine = {}
+        self._tt_memo = OrderedDict()
+
+    def export_time_travel(self) -> dict | None:
+        """The delta log + base checkpoint as plain data (the optional
+        ``timetravel`` snapshot segment), or ``None`` when disabled.
+
+        Label references serialize as indices into the engine's
+        birth-ordered label list (the same convention the engine's own
+        export uses), so a restore re-binds them to the restored
+        engine's live label objects.  The spine and memo are replay
+        caches, rebuilt on demand — never exported.
+        """
+        if not self._tt_enabled or self._tt_base is None:
+            return None
+        self._flush()
+        label_index = {
+            id(live): position
+            for position, live in enumerate(self.engine._labels)
+        }
+        base = self._tt_base
+        return {
+            "version": 1,
+            "height": self._height,
+            "base": {
+                "height": base.height,
+                "mark": base.mark,
+                "uf": base.uf.export_state(),
+                "balance": base.balance.tobytes(),
+                "tx_count": base.tx_count.tobytes(),
+                "first_seen": base.first.tobytes(),
+                "last_seen": base.last.tobytes(),
+                "min_member": base.min_member.tobytes(),
+                "a_balance": base.a_balance.tobytes(),
+                "a_tx_count": base.a_tx_count.tobytes(),
+                "a_first": base.a_first.tobytes(),
+                "a_last": base.a_last.tobytes(),
+                "open": [label_index[id(live)] for live in base.open],
+            },
+            "records": [
+                (
+                    record.height,
+                    record.max_id,
+                    record.mark,
+                    [label_index[id(live)] for live in record.born_open],
+                    [label_index[id(live)] for live in record.closed],
+                    record.event_ids.tobytes(),
+                    record.event_values.tobytes(),
+                    record.involved_flat.tobytes(),
+                )
+                for record in sorted(
+                    self._tt_records.values(), key=lambda r: r.height
+                )
+            ],
+        }
+
+    def load_time_travel(self, state: dict) -> None:
+        """Restore :meth:`export_time_travel` output onto this view.
+
+        The engine must already be restored: label references are
+        indices into its birth-ordered label list, re-bound here to the
+        same live objects the view's ``_open`` set holds.
+        """
+        labels = self.engine._labels
+        base_state = state["base"]
+        base = _HorizonState()
+        base.height = base_state["height"]
+        base.mark = base_state["mark"]
+        base.uf = IntUnionFind.from_state(base_state["uf"])
+        base.balance = IntVector.from_bytes(base_state["balance"])
+        base.tx_count = IntVector.from_bytes(base_state["tx_count"])
+        base.first = IntVector.from_bytes(base_state["first_seen"])
+        base.last = IntVector.from_bytes(base_state["last_seen"])
+        base.min_member = IntVector.from_bytes(base_state["min_member"])
+        base.a_balance = IntVector.from_bytes(base_state["a_balance"])
+        base.a_tx_count = IntVector.from_bytes(base_state["a_tx_count"])
+        base.a_first = IntVector.from_bytes(base_state["a_first"])
+        base.a_last = IntVector.from_bytes(base_state["a_last"])
+        base.open = {labels[position] for position in base_state["open"]}
+        base.settle()
+        self._tt_enabled = True
+        self._tt_base = base
+        self._tt_records = {
+            height: _HeightRecord(
+                height=height,
+                max_id=max_id,
+                mark=mark,
+                born_open=tuple(labels[position] for position in born),
+                closed=tuple(labels[position] for position in closed),
+                event_ids=np.frombuffer(event_ids, dtype="<i8"),
+                event_values=np.frombuffer(event_values, dtype="<i8"),
+                involved_flat=np.frombuffer(involved_flat, dtype="<i8"),
+            )
+            for height, max_id, mark, born, closed,
+            event_ids, event_values, involved_flat in state["records"]
+        }
+        self._tt_spine = {}
+        self._tt_memo = OrderedDict()
+
+    # ------------------------------------------------------------------
     # durable state (snapshot / restore)
     # ------------------------------------------------------------------
 
@@ -969,6 +1896,7 @@ class ClusterAggregateView(MaterializedView):
         engine: IncrementalClusteringEngine,
         follow: bool = True,
         use_kernels: bool = True,
+        time_travel: bool = True,
         metrics=None,
     ) -> "ClusterAggregateView":
         """Rebuild a view from :meth:`export_state` output, no catch-up.
@@ -978,6 +1906,13 @@ class ClusterAggregateView(MaterializedView):
         so restored rankings are identical to the exporting view's.
         Accepts both the version-2 bytes shape and the pre-columnar
         version-1 list shape.
+
+        The delta log restores separately (:meth:`load_time_travel` for
+        manifest-v4 snapshots with a ``timetravel`` segment;
+        :meth:`seed_time_travel_base` anchors a fresh base at the
+        restore height for older snapshots) — until one of those runs,
+        :meth:`covers` is ``False`` and historical horizons fall back to
+        the batch rebuild.
         """
         view = cls.__new__(cls)
         view.metrics = metrics if metrics is not None else NULL_REGISTRY
@@ -1000,6 +1935,12 @@ class ClusterAggregateView(MaterializedView):
         view._naming_dirty = set()
         view._naming_cursors = []
         view._default_naming_cursor = None
+        view.naming_epoch = 0
+        view._tt_enabled = time_travel
+        view._tt_base = None
+        view._tt_records = {}
+        view._tt_spine = {}
+        view._tt_memo = OrderedDict()
         view._rebuild_derived()
         view._adopt(index, state["height"], follow)
         return view

@@ -22,6 +22,19 @@ kind                 args                        answer
                                                  name
 ===================  ==========================  =============================
 
+The cluster kinds (``cluster_of``, ``cluster_balance``,
+``top_clusters``, ``cluster_profile``) accept one optional trailing
+``height`` argument — ``Query("top_clusters", (10, "size", 420))`` asks
+the question *as of block 420*.  Historical horizons are served by
+replaying the aggregate view's per-height delta log forward from the
+nearest materialized checkpoint
+(:meth:`~repro.service.aggregates.ClusterAggregateView.horizon`);
+when the view is absent or its log does not reach back that far, the
+batch ``_agg`` rebuild runs against the partition-as-of-``h``
+(:meth:`~repro.core.incremental.IncrementalClusteringEngine.cluster_as_of`),
+cached under ``(h, _agg:*)`` — history is immutable, so those entries
+never go stale.
+
 :class:`QueryEngine` answers them from the service's warm views.  Every
 answer is memoized in the height-keyed LRU
 (:class:`~repro.service.cache.QueryCache`), so repeats against an
@@ -60,6 +73,7 @@ from time import perf_counter
 
 from ..obs import next_request_id
 from ..tagging.naming import top_entity
+from .views import ClusterActivity
 
 QUERY_KINDS = (
     "cluster_of",
@@ -116,13 +130,18 @@ def parse_query(tokens: list[str]) -> Query:
     The first token is the kind (hyphens and underscores are
     interchangeable), e.g. ``["cluster-of", "1Abc..."]``,
     ``["top-clusters", "5", "balance"]``, ``["trace-taint", "Betcoin",
-    "theft"]`` (trailing tokens of a taint label are re-joined).
+    "theft"]`` (trailing tokens of a taint label are re-joined).  The
+    cluster kinds accept one optional trailing height token for
+    historical horizons: ``["cluster-of", "1Abc...", "420"]``,
+    ``["top-clusters", "5", "balance", "420"]``.
     """
     if not tokens:
         raise ValueError("empty query")
     kind = tokens[0].replace("-", "_")
     rest = tokens[1:]
     if kind in ("cluster_of", "balance_of", "cluster_balance", "cluster_profile"):
+        if kind != "balance_of" and len(rest) == 2:
+            return Query(kind, (rest[0], int(rest[1])))
         if len(rest) != 1:
             raise ValueError(f"{kind} takes exactly one address argument")
         return Query(kind, (rest[0],))
@@ -137,6 +156,8 @@ def parse_query(tokens: list[str]) -> Query:
             raise ValueError(
                 f"top_clusters metric must be one of {TOP_CLUSTER_METRICS}"
             )
+        if len(rest) > 2:
+            return Query(kind, (n, by, int(rest[2])))
         return Query(kind, (n, by))
     raise ValueError(f"unknown query kind {tokens[0]!r} (kinds: {QUERY_KINDS})")
 
@@ -257,10 +278,28 @@ class QueryEngine:
     def _cache_key(self, query: Query):
         """Taint answers depend on the watch set, not just the height —
         key them on the view's watch epoch too, so ``watch_theft`` at an
-        unchanged tip invalidates rather than serving pre-watch answers."""
-        if query.kind == "trace_taint":
-            return (self.service.height, self.service.taint.epoch, query)
+        unchanged tip invalidates rather than serving pre-watch answers.
+
+        Name-bearing kinds additionally carry the aggregate view's
+        *naming epoch* (bumped on every structural dirty-root drain):
+        a merge can rename a cluster without the answering engine
+        having drained yet, and an epoch-free key would keep serving
+        the pre-merge name from the cache at an unchanged tip."""
+        kind = query.kind
+        if kind == "trace_taint":
+            return (
+                self.service.height,
+                self.service.taint.epoch,
+                self._naming_epoch(),
+                query,
+            )
+        if kind in ("top_clusters", "cluster_profile"):
+            return (self.service.height, self._naming_epoch(), query)
         return (self.service.height, query)
+
+    def _naming_epoch(self) -> int:
+        view = self.service.aggregates
+        return view.naming_epoch if view is not None else 0
 
     def answer_many(
         self, queries: list[Query], *, request_id: str | None = None
@@ -522,28 +561,280 @@ class QueryEngine:
         rank_of = {cid: rank for rank, (cid, _value) in enumerate(order, 1)}
         return ClusterRanking(order=order, rank_of=rank_of)
 
+    # -- historical horizons (h < tip) ---------------------------------
+
+    def _historical_height(self, args: tuple, arity: int) -> int | None:
+        """The optional trailing horizon height of ``args``, validated.
+
+        Returns ``None`` for tip questions — both the plain
+        ``arity``-argument form and an explicit ``h == tip`` (the tip
+        fast path serves those).  Raises ``ValueError`` outside
+        ``0..tip``.
+        """
+        if len(args) <= arity:
+            return None
+        height = args[arity]
+        tip = self.service.height
+        if not isinstance(height, int) or isinstance(height, bool):
+            raise ValueError(
+                f"horizon height must be an int, got {height!r}"
+            )
+        if not 0 <= height <= tip:
+            raise ValueError(f"horizon height {height} outside 0..{tip}")
+        return None if height == tip else height
+
+    def _horizon_view(self, height: int):
+        """Replayed aggregate state at ``height``
+        (:class:`~repro.service.aggregates.HorizonAggregates`), or
+        ``None`` when the view is absent or its delta log does not
+        reach back that far — then the batch ``_agg@h`` rebuild runs."""
+        view = self.service.aggregates
+        if view is not None and view.covers(height):
+            return view.horizon(height)
+        return None
+
+    def _aggregate_at(self, height: int, name: str, build):
+        """Like :meth:`_aggregate`, but keyed at the *horizon* height:
+        history is immutable, so an ``_agg@h`` entry built once serves
+        every later tip without invalidation."""
+        cache = self.service.cache
+        key = (height, Query(f"_agg:{name}"))
+        found, value = cache.lookup(key)
+        if found:
+            return value
+        value = build()
+        cache.put(key, value)
+        return value
+
+    def _clustering_at(self, height: int):
+        return self.service.engine.cluster_as_of(height)
+
+    def _canonical_at(self, height: int) -> dict[int, int]:
+        """Batch fallback at ``height``: root -> canonical cluster id."""
+
+        def build() -> dict[int, int]:
+            uf = self._clustering_at(height).uf
+            find_root = uf.find_root
+            canonical: dict[int, int] = {}
+            for ident in range(len(uf)):
+                root = find_root(ident)
+                if root not in canonical:
+                    # Ids ascend, so a root's first member is its minimum.
+                    canonical[root] = ident
+            return canonical
+
+        return self._aggregate_at(height, "canonical", build)
+
+    def _address_balances_at(self, height: int) -> dict[int, int]:
+        """``address id -> balance`` after block ``height`` (nonzero
+        entries only), re-summed from the balance view's event log —
+        the same per-height ``(ids, values)`` records the time-travel
+        replay folds, applied here without aggregate state."""
+
+        def build() -> dict[int, int]:
+            events_at = self.service.balances.events_at
+            balances: dict[int, int] = {}
+            for h in range(height + 1):
+                for ident, change in events_at(h):
+                    total = balances.get(ident, 0) + change
+                    if total:
+                        balances[ident] = total
+                    else:
+                        balances.pop(ident, None)
+            return balances
+
+        return self._aggregate_at(height, "address_balances", build)
+
+    def _cluster_balances_at(self, height: int) -> dict[int, int]:
+        def build() -> dict[int, int]:
+            find_root = self._clustering_at(height).uf.find_root
+            out: dict[int, int] = {}
+            for ident, balance in sorted(
+                self._address_balances_at(height).items()
+            ):
+                root = find_root(ident)
+                if root is None:
+                    continue
+                out[root] = out.get(root, 0) + balance
+            return out
+
+        return self._aggregate_at(height, "cluster_balances", build)
+
+    def _address_activity_at(self, height: int):
+        """Per-address ``(tx counts, first seen, last seen)`` dicts at
+        ``height``, re-walked from the chain's block deltas (the same
+        involvement multiset :class:`~repro.service.views.ActivityView`
+        scatters at the tip)."""
+
+        def build():
+            block_delta = self.service.index.block_delta
+            counts: dict[int, int] = {}
+            first: dict[int, int] = {}
+            last: dict[int, int] = {}
+            for h in range(height + 1):
+                for ident in block_delta(h).involved_flat.tolist():
+                    counts[ident] = counts.get(ident, 0) + 1
+                    if ident not in first:
+                        first[ident] = h
+                    last[ident] = h
+            return counts, first, last
+
+        return self._aggregate_at(height, "address_activity", build)
+
+    def _cluster_activity_at(self, height: int) -> dict[int, ClusterActivity]:
+        def build() -> dict[int, ClusterActivity]:
+            find_root = self._clustering_at(height).uf.find_root
+            counts, first, last = self._address_activity_at(height)
+            agg_counts: dict[int, int] = {}
+            agg_first: dict[int, int] = {}
+            agg_last: dict[int, int] = {}
+            for ident in sorted(counts):
+                root = find_root(ident)
+                if root is None:
+                    continue
+                agg_counts[root] = agg_counts.get(root, 0) + counts[ident]
+                seen_first = first[ident]
+                seen_last = last[ident]
+                if root not in agg_first or seen_first < agg_first[root]:
+                    agg_first[root] = seen_first
+                if root not in agg_last or seen_last > agg_last[root]:
+                    agg_last[root] = seen_last
+            return {
+                root: ClusterActivity(
+                    tx_count=agg_counts[root],
+                    first_seen=agg_first[root],
+                    last_seen=agg_last[root],
+                )
+                for root in agg_counts
+            }
+
+        return self._aggregate_at(height, "cluster_activity", build)
+
+    def _ranking_at(self, height: int, by: str) -> ClusterRanking:
+        if by not in TOP_CLUSTER_METRICS:
+            raise ValueError(
+                f"ranking metric must be one of {TOP_CLUSTER_METRICS}"
+            )
+
+        def build() -> ClusterRanking:
+            canonical = self._canonical_at(height)
+            if by == "size":
+                metric = self._clustering_at(height).component_sizes()
+            elif by == "balance":
+                metric = self._cluster_balances_at(height)
+            else:  # activity
+                metric = {
+                    root: activity.tx_count
+                    for root, activity in self._cluster_activity_at(
+                        height
+                    ).items()
+                }
+            order = tuple(
+                sorted(
+                    (
+                        (canonical[root], value)
+                        for root, value in metric.items()
+                    ),
+                    key=lambda kv: (-kv[1], kv[0]),
+                )
+            )
+            rank_of = {
+                cid: rank for rank, (cid, _value) in enumerate(order, 1)
+            }
+            return ClusterRanking(order=order, rank_of=rank_of)
+
+        return self._aggregate_at(height, f"ranking:{by}", build)
+
+    def _cluster_names_at(self, height: int) -> dict[int, str] | None:
+        """``canonical id -> name`` at ``height``, or ``None`` without
+        tags.  With a covering horizon the map is a replay: tag ids go
+        through the horizon's cached ``(root, cid)`` placements instead
+        of an O(tags) partition walk.  The cache key carries the tag
+        count so tags added after the first build re-enter history."""
+        tags = self.service.tags
+        if tags is None:
+            return None
+
+        def build() -> dict[int, str]:
+            entries, _fresh = self._resolved_tags()
+            hz = self._horizon_view(height)
+            if hz is not None:
+                placements = hz.cluster_placements_of(
+                    entry[0] for entry in entries
+                )
+                by_cid: dict[int, list[int]] = {}
+                for position, placed in enumerate(placements):
+                    if placed is not None:
+                        by_cid.setdefault(placed[1], []).append(position)
+                return {
+                    cid: self._name_of_entries(indices, entries)
+                    for cid, indices in by_cid.items()
+                }
+            canonical = self._canonical_at(height)
+            find_root = self._clustering_at(height).uf.find_root
+            weights: dict[int, dict[str, float]] = {}
+            for tag in tags.all_tags():
+                root = find_root(tag.address)
+                if root is None:
+                    continue
+                entity_weights = weights.setdefault(canonical[root], {})
+                entity_weights[tag.entity] = (
+                    entity_weights.get(tag.entity, 0.0) + tag.confidence
+                )
+            return {
+                cid: top_entity(entity_weights)
+                for cid, entity_weights in weights.items()
+            }
+
+        return self._aggregate_at(
+            height, f"cluster_names:{len(tags)}", build
+        )
+
     # -- handlers ------------------------------------------------------
 
     def _answer_cluster_of(self, query: Query):
+        address = query.args[0]
+        height = self._historical_height(query.args, 1)
+        if height is not None:
+            hz = self._horizon_view(height)
+            if hz is not None:
+                ident = self.service.index.interner.id_of(address)
+                return hz.cluster_id_of(ident)
+            root = self._clustering_at(height).uf.find_root(address)
+            return None if root is None else self._canonical_at(height)[root]
         view = self._live_aggregates()
         if view is not None:
-            ident = self.service.index.interner.id_of(query.args[0])
+            ident = self.service.index.interner.id_of(address)
             return view.cluster_id_of(ident)
-        root = self.service.clustering.cluster_of(query.args[0])
+        root = self.service.clustering.cluster_of(address)
         return None if root is None else self._canonical()[root]
 
     def _answer_balance_of(self, query: Query):
         return self.service.balances.balance_of(query.args[0])
 
     def _answer_cluster_balance(self, query: Query):
+        address = query.args[0]
+        height = self._historical_height(query.args, 1)
+        if height is not None:
+            hz = self._horizon_view(height)
+            if hz is not None:
+                ident = self.service.index.interner.id_of(address)
+                cluster_id = hz.cluster_id_of(ident)
+                if cluster_id is None:
+                    return None
+                return hz.balance_of_cluster(cluster_id)
+            root = self._clustering_at(height).uf.find_root(address)
+            if root is None:
+                return None
+            return self._cluster_balances_at(height).get(root, 0)
         view = self._live_aggregates()
         if view is not None:
-            ident = self.service.index.interner.id_of(query.args[0])
+            ident = self.service.index.interner.id_of(address)
             cluster_id = view.cluster_id_of(ident)
             if cluster_id is None:
                 return None
             return view.balance_of_cluster(cluster_id)
-        root = self.service.clustering.cluster_of(query.args[0])
+        root = self.service.clustering.cluster_of(address)
         if root is None:
             return None
         return self._cluster_balances().get(root, 0)
@@ -564,7 +855,24 @@ class QueryEngine:
         }
 
     def _answer_top_clusters(self, query: Query):
-        n, by = query.args
+        n, by = query.args[0], query.args[1]
+        height = self._historical_height(query.args, 2)
+        if height is not None:
+            names = self._cluster_names_at(height)
+            hz = self._horizon_view(height)
+            entries = (
+                hz.top(n, by)
+                if hz is not None
+                else self._ranking_at(height, by).top(n)
+            )
+            return tuple(
+                (
+                    cluster_id,
+                    value,
+                    names.get(cluster_id) if names is not None else None,
+                )
+                for cluster_id, value in entries
+            )
         names = self._cluster_names()
         view = self._live_aggregates()
         entries = view.top(n, by) if view is not None else self._ranking(by).top(n)
@@ -583,6 +891,9 @@ class QueryEngine:
         ident = service.index.interner.id_of(address)
         if ident is None:
             return None
+        height = self._historical_height(query.args, 1)
+        if height is not None:
+            return self._profile_at(height, address, ident)
         view = self._live_aggregates()
         if view is not None:
             cluster_id = view.cluster_id_of(ident)
@@ -621,6 +932,62 @@ class QueryEngine:
             "name": (
                 names.get(cluster_id) if names is not None else None
             ),
+        }
+
+    def _profile_at(self, height: int, address: str, ident: int):
+        """The historical ``cluster_profile`` body: same keys as the
+        tip answer, every field as of ``height``."""
+        names = self._cluster_names_at(height)
+        hz = self._horizon_view(height)
+        if hz is not None:
+            cluster_id = hz.cluster_id_of(ident)
+            if cluster_id is None:
+                return None
+            cluster_activity = hz.activity_of_cluster(cluster_id)
+            seen = hz.seen_range_of_id(ident)
+            return {
+                "address": address,
+                "address_id": ident,
+                "cluster": cluster_id,
+                "cluster_size": hz.size_of_cluster(cluster_id),
+                "balance": hz.balance_of_id(ident),
+                "cluster_balance": hz.balance_of_cluster(cluster_id),
+                "tx_count": hz.tx_count_of_id(ident),
+                "first_seen": seen[0] if seen else None,
+                "last_seen": seen[1] if seen else None,
+                "cluster_tx_count": (
+                    cluster_activity.tx_count if cluster_activity else 0
+                ),
+                "cluster_rank": hz.rank_of("size", cluster_id),
+                "name": (
+                    names.get(cluster_id) if names is not None else None
+                ),
+            }
+        clustering = self._clustering_at(height)
+        root = clustering.uf.find_root(ident)
+        if root is None:
+            return None
+        cluster_id = self._canonical_at(height)[root]
+        counts, first, last = self._address_activity_at(height)
+        cluster_activity = self._cluster_activity_at(height).get(root)
+        seen = (first[ident], last[ident]) if ident in first else None
+        return {
+            "address": address,
+            "address_id": ident,
+            "cluster": cluster_id,
+            "cluster_size": clustering.uf.size_of(root),
+            "balance": self._address_balances_at(height).get(ident, 0),
+            "cluster_balance": self._cluster_balances_at(height).get(root, 0),
+            "tx_count": counts.get(ident, 0),
+            "first_seen": seen[0] if seen else None,
+            "last_seen": seen[1] if seen else None,
+            "cluster_tx_count": (
+                cluster_activity.tx_count if cluster_activity else 0
+            ),
+            "cluster_rank": self._ranking_at(height, "size").rank_of.get(
+                cluster_id
+            ),
+            "name": names.get(cluster_id) if names is not None else None,
         }
 
     _HANDLERS = {

@@ -57,6 +57,7 @@ class ForensicsService:
         min_taint: float = 1.0,
         cache_size: int = 4096,
         differential_aggregates: bool = True,
+        time_travel: bool = True,
         metrics=None,
         log=None,
     ) -> None:
@@ -71,6 +72,11 @@ class ForensicsService:
         every cluster query onto the batch ``_agg`` rebuild path — the
         benchmark baseline and the fallback-path test fixture; such a
         service cannot be snapshotted.
+
+        ``time_travel=False`` keeps the differential view but drops its
+        per-height delta log, so historical-horizon queries fall back
+        to the batch ``_agg@h`` rebuild — the time-travel benchmark
+        baseline.
 
         ``metrics`` is an optional
         :class:`~repro.obs.MetricsRegistry`: when given (and enabled)
@@ -107,7 +113,10 @@ class ForensicsService:
         # registration order).
         self.aggregates = (
             ClusterAggregateView(
-                index, engine=self.engine, metrics=self.metrics
+                index,
+                engine=self.engine,
+                time_travel=time_travel,
+                metrics=self.metrics,
             )
             if differential_aggregates
             else None
@@ -285,6 +294,17 @@ class ForensicsService:
         service.activity = ActivityView.from_state(
             index, states["activity"], follow=follow, metrics=service.metrics
         )
+        timetravel_state = states.get("timetravel")
+        if timetravel_state is not None:
+            service.aggregates.load_time_travel(timetravel_state)
+        else:
+            # Pre-v4 snapshots carry no delta log: re-seed the horizon
+            # base at the restored height, so time travel covers the
+            # tail streamed from here on while heights below the
+            # snapshot stay on the batch ``_agg@h`` fallback.
+            service.aggregates.seed_time_travel_base(
+                service.balances, service.activity
+            )
         tag_map = tags.as_mapping() if tags is not None else {}
         service.taint = TaintView.from_state(
             index,
@@ -313,29 +333,42 @@ class ForensicsService:
         """Batch entrypoint: answers in input order, grouped by kind."""
         return self.queries.answer_many(queries, request_id=request_id)
 
-    def cluster_of(self, address: str):
-        """Cluster root id for an address, or ``None`` if never seen."""
-        return self.answer(Query("cluster_of", (address,)))
+    def cluster_of(self, address: str, height: int | None = None):
+        """Cluster root id for an address, or ``None`` if never seen.
+
+        ``height`` asks the question as of that block instead of the
+        tip (likewise on the other cluster kinds below)."""
+        args = (address,) if height is None else (address, height)
+        return self.answer(Query("cluster_of", args))
 
     def balance_of(self, address: str) -> int:
         """Satoshis the address holds at the tip."""
         return self.answer(Query("balance_of", (address,)))
 
-    def cluster_balance(self, address: str) -> int | None:
+    def cluster_balance(
+        self, address: str, height: int | None = None
+    ) -> int | None:
         """Satoshis held by the whole cluster containing ``address``."""
-        return self.answer(Query("cluster_balance", (address,)))
+        args = (address,) if height is None else (address, height)
+        return self.answer(Query("cluster_balance", args))
 
     def trace_taint(self, label: str) -> dict:
         """Warm taint summary for a watched theft case."""
         return self.answer(Query("trace_taint", (label,)))
 
-    def top_clusters(self, n: int = 10, by: str = "size") -> tuple:
+    def top_clusters(
+        self, n: int = 10, by: str = "size", height: int | None = None
+    ) -> tuple:
         """The ``n`` largest clusters by ``size``/``balance``/``activity``."""
-        return self.answer(Query("top_clusters", (n, by)))
+        args = (n, by) if height is None else (n, by, height)
+        return self.answer(Query("top_clusters", args))
 
-    def cluster_profile(self, address: str) -> dict | None:
+    def cluster_profile(
+        self, address: str, height: int | None = None
+    ) -> dict | None:
         """Everything warm about one address's cluster."""
-        return self.answer(Query("cluster_profile", (address,)))
+        args = (address,) if height is None else (address, height)
+        return self.answer(Query("cluster_profile", args))
 
     def stats(self) -> dict:
         """Serving metrics: height, watched cases, cache accounting.

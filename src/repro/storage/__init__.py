@@ -23,10 +23,17 @@ every snapshot height).
 from .errors import NoSnapshotError, SnapshotIntegrityError, StorageError
 from .manifest import SnapshotManifest, read_manifest, write_manifest
 from .segments import read_segment, write_segment
-from .store import COMPONENTS, SnapshotPolicy, StateStore, WarmStart
+from .store import (
+    COMPONENTS,
+    OPTIONAL_COMPONENTS,
+    SnapshotPolicy,
+    StateStore,
+    WarmStart,
+)
 
 __all__ = [
     "COMPONENTS",
+    "OPTIONAL_COMPONENTS",
     "NoSnapshotError",
     "SnapshotIntegrityError",
     "SnapshotManifest",

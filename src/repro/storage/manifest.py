@@ -26,16 +26,20 @@ from .errors import SnapshotIntegrityError
 
 MANIFEST_NAME = "MANIFEST.json"
 MANIFEST_FORMAT = "repro-state-snapshot"
-MANIFEST_VERSION = 3
+MANIFEST_VERSION = 4
 """Snapshot layout version.  2 added the ``aggregates`` segment (the
 differential cluster-aggregate view) and the engine's settled-label
 field; version-1 snapshots are rejected rather than part-restored.
 3 switched the dense per-id view/engine arrays to raw int64 bytes
 buffers inside the segments — the component ``from_state`` readers
 accept both shapes, so version-2 snapshots stay restorable
-(:data:`SUPPORTED_VERSIONS`)."""
+(:data:`SUPPORTED_VERSIONS`).  4 added the *optional* ``timetravel``
+segment (the aggregate view's per-height delta log, horizon base, and
+checkpoint spine anchor); v2/v3 snapshots restore without it — the
+restored service re-seeds its time-travel base at the snapshot height
+instead of recovering the full historical log."""
 
-SUPPORTED_VERSIONS = frozenset({2, MANIFEST_VERSION})
+SUPPORTED_VERSIONS = frozenset({2, 3, MANIFEST_VERSION})
 """Manifest versions :func:`read_manifest` accepts."""
 
 

@@ -64,6 +64,13 @@ COMPONENTS = (
 )
 """Segment names, one per durable component of a forensics service."""
 
+OPTIONAL_COMPONENTS = ("timetravel",)
+"""Segments a manifest may list but does not have to: ``timetravel``
+(manifest v4) carries the aggregate view's per-height delta log and
+horizon base.  A snapshot without it (v2/v3, or a view built with
+``time_travel=False``) restores fine — historical horizons below the
+snapshot height just fall back to the batch rebuild."""
+
 
 @contextmanager
 def _bulk_allocation():
@@ -220,7 +227,7 @@ class StateStore:
 
     @staticmethod
     def _write_segments(scratch: Path, service: ForensicsService) -> dict:
-        return {
+        segments = {
             "chain": write_segment(scratch, "chain", service.index.export_state()),
             "engine": write_segment(scratch, "engine", service.engine.export_state()),
             "aggregates": write_segment(
@@ -235,6 +242,12 @@ class StateStore:
             "taint": write_segment(scratch, "taint", service.taint.export_state()),
             "service": write_segment(scratch, "service", service.export_state()),
         }
+        timetravel = service.aggregates.export_time_travel()
+        if timetravel is not None:
+            segments["timetravel"] = write_segment(
+                scratch, "timetravel", timetravel
+            )
+        return segments
 
     # ------------------------------------------------------------------
     # discovery / retention
@@ -319,6 +332,16 @@ class StateStore:
                         expected_sha256=record["sha256"],
                     )
                     total_bytes += record.get("bytes", 0)
+                for name in OPTIONAL_COMPONENTS:
+                    record = snapshot.segments.get(name)
+                    if record is None:
+                        continue  # pre-v4 snapshot, or time travel off
+                    states[name] = read_segment(
+                        directory / record["file"],
+                        expected_name=name,
+                        expected_sha256=record["sha256"],
+                    )
+                    total_bytes += record.get("bytes", 0)
                 index = ChainIndex.restore_state(states["chain"])
             if index.height != snapshot.height:
                 raise SnapshotIntegrityError(
@@ -378,9 +401,11 @@ class StateStore:
         """
         directory = snapshot.directory
         problems: list[str] = []
-        for name in COMPONENTS:
+        for name in COMPONENTS + OPTIONAL_COMPONENTS:
             record = snapshot.segments.get(name)
             if record is None:
+                if name in OPTIONAL_COMPONENTS:
+                    continue  # pre-v4 snapshot, or time travel off
                 problems.append(f"manifest lists no {name!r} segment")
                 continue
             try:

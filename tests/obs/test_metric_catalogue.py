@@ -44,11 +44,17 @@ def emitted(tmp_path_factory):
     metrics = MetricsRegistry()
     service = instrumented_service(world, metrics=metrics)
     interner = service.index.interner
+    horizon = max(0, service.height // 2)
     service.answer_many(
         [
             Query("top_clusters", (5, "balance")),
             Query("cluster_of", (interner.address_of(0),)),
             Query("balance_of", (interner.address_of(1),)),
+            # Historical horizon twice: the first replays the delta log
+            # (timetravel.replay_* + the `timetravel` flight span), the
+            # second hits the horizon memo (timetravel.memo_hits).
+            Query("top_clusters", (5, "size", horizon)),
+            Query("cluster_profile", (interner.address_of(0), horizon)),
         ]
     )
     store = StateStore(

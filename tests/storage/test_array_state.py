@@ -162,8 +162,8 @@ class TestLegacyShapesRestore:
 
 class TestManifestVersionGate:
     def test_current_and_previous_versions_supported(self):
-        assert MANIFEST_VERSION == 3
-        assert SUPPORTED_VERSIONS == {2, 3}
+        assert MANIFEST_VERSION == 4
+        assert SUPPORTED_VERSIONS == {2, 3, 4}
 
     def _snapshot_dir(self, tmp_path):
         from repro.service import ForensicsService
